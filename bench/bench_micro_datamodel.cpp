@@ -1,0 +1,103 @@
+// Micro-benchmarks (google-benchmark): the Conduit-like data model.
+//
+// The data model sits on every publish path; these measure the operations
+// the monitors perform per tick: building a /proc-style snapshot, packing it
+// for the wire, unpacking at the service, and path lookups.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "datamodel/node.hpp"
+
+using namespace soma;
+using namespace soma::datamodel;
+
+namespace {
+
+Node make_proc_like(int cores) {
+  Node node;
+  Node& at = node["cn0001"]["1698435412606003000"];
+  at["Uptime"].set(std::int64_t{49902});
+  at["Num Processes"].set(std::int64_t{3});
+  at["Available RAM"].set(std::int64_t{8422});
+  Node& stat = at["stat"];
+  for (int c = -1; c < cores; ++c) {
+    const std::string key = c < 0 ? "cpu" : "cpu" + std::to_string(c);
+    stat[key].set(std::vector<std::int64_t>{10749, 865, 685, 9293, 999, 745});
+  }
+  return node;
+}
+
+void BM_BuildProcSnapshot(benchmark::State& state) {
+  for (auto _ : state) {
+    Node node = make_proc_like(static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(node);
+  }
+}
+BENCHMARK(BM_BuildProcSnapshot)->Arg(8)->Arg(42);
+
+void BM_Pack(benchmark::State& state) {
+  const Node node = make_proc_like(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto wire = node.pack();
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(node.packed_size()));
+}
+BENCHMARK(BM_Pack)->Arg(8)->Arg(42);
+
+void BM_Unpack(benchmark::State& state) {
+  const Node node = make_proc_like(static_cast<int>(state.range(0)));
+  const auto wire = node.pack();
+  for (auto _ : state) {
+    Node back = Node::unpack(wire);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_Unpack)->Arg(8)->Arg(42);
+
+void BM_PathFetch(benchmark::State& state) {
+  Node node = make_proc_like(42);
+  for (auto _ : state) {
+    const Node& leaf =
+        node.fetch_existing("cn0001/1698435412606003000/stat/cpu17");
+    benchmark::DoNotOptimize(&leaf);
+  }
+}
+BENCHMARK(BM_PathFetch);
+
+void BM_DeepCopy(benchmark::State& state) {
+  const Node node = make_proc_like(42);
+  for (auto _ : state) {
+    Node copy = node;
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_DeepCopy);
+
+void BM_Update(benchmark::State& state) {
+  const Node base = make_proc_like(42);
+  const Node patch = make_proc_like(42);
+  for (auto _ : state) {
+    Node merged = base;
+    merged.update(patch);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_Update);
+
+void BM_ToJson(benchmark::State& state) {
+  const Node node = make_proc_like(42);
+  for (auto _ : state) {
+    std::string json = node.to_json();
+    benchmark::DoNotOptimize(json);
+  }
+}
+BENCHMARK(BM_ToJson);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Micro-benchmarks (google-benchmark): the RPC engine and event loop.
+//
+// Measures simulator throughput: how many simulated RPC round-trips and raw
+// events the host machine processes per second. This bounds the wall-clock
+// cost of the large Scaling B sweeps.
+
+#include <benchmark/benchmark.h>
+
+#include "net/rpc.hpp"
+#include "sim/simulation.hpp"
+
+using namespace soma;
+
+namespace {
+
+void BM_EventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation simulation;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      simulation.schedule(Duration::microseconds(i), [] {});
+    }
+    state.ResumeTiming();
+    simulation.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventDispatch)->Arg(1000)->Arg(100000);
+
+void BM_RpcRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation simulation;
+    net::Network network(simulation, net::NetworkConfig{});
+    net::Engine server(network, net::make_address(0, 1));
+    net::Engine client(network, net::make_address(1, 1));
+    server.define("echo",
+                  [](const net::Address&, const datamodel::Node& args) {
+                    return args;
+                  });
+    datamodel::Node payload;
+    payload["stat"].set(std::vector<std::int64_t>{1, 2, 3, 4, 5, 6});
+    const int n = static_cast<int>(state.range(0));
+    state.ResumeTiming();
+
+    for (int i = 0; i < n; ++i) {
+      client.call(server.address(), "echo", payload);
+    }
+    simulation.run();
+    benchmark::DoNotOptimize(server.stats().requests_handled);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RpcRoundTrip)->Arg(1000)->Arg(10000);
+
+void BM_PeriodicTasks(benchmark::State& state) {
+  // Many concurrent periodic monitors ticking over a long horizon — the
+  // hot loop of the 512-node runs.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation simulation;
+    std::vector<std::unique_ptr<sim::PeriodicTask>> tasks;
+    int ticks = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      tasks.push_back(std::make_unique<sim::PeriodicTask>(
+          simulation, Duration::seconds(10.0), [&ticks] { ++ticks; }));
+      tasks.back()->start(Duration::milliseconds(i));
+    }
+    state.ResumeTiming();
+    simulation.run_until(SimTime::from_seconds(600.0));
+    for (auto& task : tasks) task->stop();
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 60);
+}
+BENCHMARK(BM_PeriodicTasks)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Shared helpers for the reproduction benches. Every bench prints a header
+// naming the paper artifact it regenerates, the table/series data, and a
+// "paper vs measured" comparison where the paper states numbers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace soma::bench {
+
+inline void header(const char* artifact, const char* description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("================================================================\n");
+}
+
+inline void section(const char* title) { std::printf("\n-- %s --\n", title); }
+
+inline std::string fmt(double value, int precision = 1) {
+  return format_seconds(value, precision);
+}
+
+inline std::string fmt_pct(double fraction, int precision = 1) {
+  return format_seconds(fraction * 100.0, precision) + "%";
+}
+
+/// One row of a summary distribution: mean ± σ [min, max].
+inline std::string fmt_summary(const Summary& s) {
+  return fmt(s.mean) + " ± " + fmt(s.stddev) + "  [" + fmt(s.min) + ", " +
+         fmt(s.max) + "]";
+}
+
+inline void paper_vs_measured(const char* what, const std::string& paper,
+                              const std::string& measured) {
+  std::printf("  paper: %-34s measured: %s  (%s)\n", paper.c_str(),
+              measured.c_str(), what);
+}
+
+}  // namespace soma::bench

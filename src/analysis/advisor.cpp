@@ -1,0 +1,182 @@
+#include "analysis/advisor.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "rp/states.hpp"
+#include "soma/namespaces.hpp"
+
+namespace soma::analysis {
+
+std::optional<std::string> ConfigScaling::best_efficiency(
+    const std::map<std::string, int>& ranks_of) const {
+  std::optional<std::string> best;
+  double best_cost = std::numeric_limits<double>::max();
+  for (const auto& [label, summary] : by_label) {
+    const auto it = ranks_of.find(label);
+    if (it == ranks_of.end() || summary.count == 0) continue;
+    const double cost = summary.mean * static_cast<double>(it->second);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = label;
+    }
+  }
+  return best;
+}
+
+std::optional<std::string> ConfigScaling::fastest() const {
+  std::optional<std::string> best;
+  double best_mean = std::numeric_limits<double>::max();
+  for (const auto& [label, summary] : by_label) {
+    if (summary.count == 0) continue;
+    if (summary.mean < best_mean) {
+      best_mean = summary.mean;
+      best = label;
+    }
+  }
+  return best;
+}
+
+double FreeResourceReport::mean_utilization() const {
+  if (nodes.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& node : nodes) total += node.mean_utilization;
+  return total / static_cast<double>(nodes.size());
+}
+
+double FreeResourceReport::mean_gpu_utilization() const {
+  if (nodes.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& node : nodes) total += node.mean_gpu_utilization;
+  return total / static_cast<double>(nodes.size());
+}
+
+std::vector<std::string> FreeResourceReport::underutilized(
+    double threshold) const {
+  std::vector<std::string> out;
+  for (const auto& node : nodes) {
+    if (node.last_utilization < threshold) out.push_back(node.hostname);
+  }
+  return out;
+}
+
+FreeResourceReport analyze_hardware(const core::DataStore& store) {
+  FreeResourceReport report;
+  for (const std::string& host :
+       store.sources(core::Namespace::kHardware)) {
+    FreeResourceReport::NodeReport node;
+    node.hostname = host;
+    const auto& series = store.series(core::Namespace::kHardware, host);
+    double sum = 0.0;
+    std::size_t count = 0;
+    double gpu_sum = 0.0;
+    std::size_t gpu_count = 0;
+    for (const auto& record : series) {
+      const auto* host_node = record.data.find_child(host);
+      if (host_node == nullptr) continue;
+      if (const auto* util = host_node->find_child("cpu_utilization")) {
+        const double u = util->to_float64();
+        sum += u;
+        ++count;
+        node.last_utilization = u;
+      }
+      if (const auto* gpu = host_node->find_child("gpu_utilization")) {
+        const double u = gpu->to_float64();
+        gpu_sum += u;
+        ++gpu_count;
+        node.last_gpu_utilization = u;
+      }
+      // Latest RAM figure from the newest timestamped snapshot block.
+      for (std::size_t i = 0; i < host_node->number_of_children(); ++i) {
+        const auto& child = host_node->child_at(i);
+        if (const auto* ram = child.find_child("Available RAM")) {
+          node.available_ram_mib = ram->as_int64();
+        }
+      }
+    }
+    if (count > 0) node.mean_utilization = sum / static_cast<double>(count);
+    if (gpu_count > 0) {
+      node.mean_gpu_utilization = gpu_sum / static_cast<double>(gpu_count);
+    }
+    report.nodes.push_back(std::move(node));
+  }
+  return report;
+}
+
+std::vector<ProgressPoint> workflow_progress(const core::DataStore& store,
+                                             const std::string& source) {
+  std::vector<ProgressPoint> out;
+  for (const auto& record :
+       store.series(core::Namespace::kWorkflow, source)) {
+    const auto* summary = record.data.find_child("summary");
+    if (summary == nullptr) continue;
+    ProgressPoint point;
+    point.time = record.time;
+    point.done = summary->fetch_existing("tasks_done").as_int64();
+    point.executing = summary->fetch_existing("tasks_executing").as_int64();
+    point.pending = summary->fetch_existing("tasks_pending").as_int64();
+    point.throughput_per_min =
+        summary->fetch_existing("throughput_per_min").to_float64();
+    out.push_back(point);
+  }
+  return out;
+}
+
+std::vector<std::pair<SimTime, std::string>> observed_task_starts(
+    const core::DataStore& store, const std::string& source) {
+  std::vector<std::pair<SimTime, std::string>> out;
+  for (const auto& record :
+       store.series(core::Namespace::kWorkflow, source)) {
+    const auto* events = record.data.find_child("events");
+    if (events == nullptr) continue;
+    for (std::size_t u = 0; u < events->number_of_children(); ++u) {
+      const std::string& uid = events->child_names()[u];
+      const auto& per_task = events->child_at(u);
+      for (std::size_t e = 0; e < per_task.number_of_children(); ++e) {
+        if (per_task.child_at(e).as_string() == rp::events::kRankStart) {
+          const SimTime at{std::stoll(per_task.child_names()[e])};
+          out.emplace_back(at, uid);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+DdmdAdvice advise_ddmd(const FreeResourceReport& hardware, int gpus_free,
+                       int current_train_tasks) {
+  DdmdAdvice advice;
+  advice.train_tasks = current_train_tasks;
+  advice.cores_per_sim_task = 3;
+
+  const double utilization = hardware.mean_utilization();
+  if (utilization < 0.35) {
+    // CPUs are mostly idle: the work is on the GPUs (paper Fig. 9 finding).
+    // Fewer host cores per task frees nothing useful; instead use idle GPUs
+    // by parallelizing training.
+    advice.cores_per_sim_task = 1;
+    if (gpus_free > 0) {
+      advice.train_tasks =
+          std::min(current_train_tasks + gpus_free, current_train_tasks * 2);
+      advice.rationale =
+          "CPU utilization low and GPUs idle: parallelize training across " +
+          std::to_string(advice.train_tasks) + " tasks";
+    } else {
+      advice.rationale =
+          "CPU utilization low but no GPU headroom: keep training at " +
+          std::to_string(current_train_tasks);
+    }
+  } else if (utilization > 0.8) {
+    advice.cores_per_sim_task = 7;
+    advice.rationale =
+        "CPU utilization high: give simulation tasks more host cores";
+  } else {
+    advice.rationale = "utilization moderate: keep current configuration";
+  }
+  return advice;
+}
+
+}  // namespace soma::analysis

@@ -1,0 +1,92 @@
+// In-situ analysis and adaptive advice (paper §4 and §6 / future work).
+//
+// These functions run against the SOMA service's DataStore — the data is
+// already "in SOMA's possession" — and compute the decisions the paper
+// motivates: which MPI task configuration to use (Fig. 4), where free
+// resources are (Fig. 9 discussion), and how to reconfigure the next DDMD
+// phase (Table 2, "Adaptive"). The feedback loop into RP that the paper
+// lists as future work is implemented here and demonstrated in
+// examples/adaptive_feedback.cpp.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "soma/store.hpp"
+
+namespace soma::analysis {
+
+/// Mean/σ execution time per task configuration (label -> summary), from the
+/// workflow-namespace summaries plus per-task events. Populated by the
+/// caller from its own completion records or from the store.
+struct ConfigScaling {
+  std::map<std::string, Summary> by_label;
+
+  /// The configuration with the best resource-time product (ranks * mean
+  /// seconds) — "run more tasks at smaller scale" when scaling flattens.
+  /// `ranks_of` maps a label to its rank count.
+  [[nodiscard]] std::optional<std::string> best_efficiency(
+      const std::map<std::string, int>& ranks_of) const;
+
+  /// The configuration with the lowest mean time (pure turnaround).
+  [[nodiscard]] std::optional<std::string> fastest() const;
+};
+
+/// Per-node free-resource estimate derived from the hardware namespace.
+struct FreeResourceReport {
+  struct NodeReport {
+    std::string hostname;
+    double mean_utilization = 0.0;  ///< CPU, over the observed window
+    double last_utilization = 0.0;
+    double mean_gpu_utilization = 0.0;
+    double last_gpu_utilization = 0.0;
+    std::int64_t available_ram_mib = 0;
+  };
+  std::vector<NodeReport> nodes;
+
+  [[nodiscard]] double mean_utilization() const;
+  [[nodiscard]] double mean_gpu_utilization() const;
+  /// Hosts whose latest utilization is below `threshold`.
+  [[nodiscard]] std::vector<std::string> underutilized(
+      double threshold = 0.5) const;
+};
+
+/// Scan the hardware namespace of `store` and summarize per-node CPU
+/// utilization (uses the online `cpu_utilization` values the monitors
+/// attach to every snapshot).
+FreeResourceReport analyze_hardware(const core::DataStore& store);
+
+/// Workflow-progress series from the workflow namespace: one entry per
+/// monitor tick.
+struct ProgressPoint {
+  SimTime time;
+  std::int64_t done = 0;
+  std::int64_t executing = 0;
+  std::int64_t pending = 0;
+  double throughput_per_min = 0.0;
+};
+std::vector<ProgressPoint> workflow_progress(const core::DataStore& store,
+                                             const std::string& source =
+                                                 "rp_monitor");
+
+/// Task-start times observed by the RP monitor (the orange dots of Fig. 7):
+/// rank_start events extracted from the published event blocks.
+std::vector<std::pair<SimTime, std::string>> observed_task_starts(
+    const core::DataStore& store,
+    const std::string& source = "rp_monitor");
+
+/// Adaptive recommendation for the DDMD mini-app (paper §4.3): given the
+/// observed mean CPU utilization and the GPU headroom, suggest the training
+/// parallelism and cores/task for the next phase.
+struct DdmdAdvice {
+  int train_tasks = 1;
+  int cores_per_sim_task = 1;
+  std::string rationale;
+};
+DdmdAdvice advise_ddmd(const FreeResourceReport& hardware, int gpus_free,
+                       int current_train_tasks);
+
+}  // namespace soma::analysis

@@ -1,0 +1,93 @@
+#include "analysis/anomaly.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/stats.hpp"
+
+namespace soma::analysis {
+namespace {
+
+// Consistency constant making MAD comparable to a standard deviation for
+// normally distributed data.
+constexpr double kMadScale = 1.4826;
+
+double median_of(std::vector<double> values) {
+  return percentile(std::move(values), 50.0);
+}
+
+}  // namespace
+
+double median_absolute_deviation(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const double med = median_of(values);
+  for (double& v : values) v = std::abs(v - med);
+  return median_of(std::move(values));
+}
+
+std::vector<TaskAnomaly> detect_task_anomalies(
+    const std::vector<TaskSample>& samples, double threshold,
+    std::size_t min_group) {
+  std::map<std::string, std::vector<const TaskSample*>> groups;
+  for (const auto& sample : samples) {
+    groups[sample.label].push_back(&sample);
+  }
+
+  std::vector<TaskAnomaly> anomalies;
+  for (const auto& [label, members] : groups) {
+    if (members.size() < min_group) continue;
+    std::vector<double> times;
+    times.reserve(members.size());
+    for (const auto* member : members) times.push_back(member->exec_seconds);
+    const double med = median_of(times);
+    const double mad = median_absolute_deviation(times);
+    if (mad <= 0.0) continue;  // degenerate group (identical times)
+
+    for (const auto* member : members) {
+      const double z = (member->exec_seconds - med) / (kMadScale * mad);
+      if (std::abs(z) < threshold) continue;
+      TaskAnomaly anomaly;
+      anomaly.sample = *member;
+      anomaly.kind = z > 0 ? AnomalyKind::kStraggler
+                           : AnomalyKind::kUnexpectedFast;
+      anomaly.robust_z = z;
+      anomaly.group_median = med;
+      anomalies.push_back(std::move(anomaly));
+    }
+  }
+  std::sort(anomalies.begin(), anomalies.end(),
+            [](const TaskAnomaly& a, const TaskAnomaly& b) {
+              return std::abs(a.robust_z) > std::abs(b.robust_z);
+            });
+  return anomalies;
+}
+
+std::vector<HostAnomaly> detect_host_anomalies(
+    const FreeResourceReport& report, double threshold) {
+  std::vector<HostAnomaly> anomalies;
+  if (report.nodes.size() < 3) return anomalies;
+
+  std::vector<double> utilizations;
+  utilizations.reserve(report.nodes.size());
+  for (const auto& node : report.nodes) {
+    utilizations.push_back(node.mean_utilization);
+  }
+  const double med = median_of(utilizations);
+  const double mad = median_absolute_deviation(utilizations);
+  if (mad <= 0.0) return anomalies;
+
+  for (const auto& node : report.nodes) {
+    const double z = (node.mean_utilization - med) / (kMadScale * mad);
+    if (std::abs(z) < threshold) continue;
+    anomalies.push_back(
+        HostAnomaly{node.hostname, node.mean_utilization, z});
+  }
+  std::sort(anomalies.begin(), anomalies.end(),
+            [](const HostAnomaly& a, const HostAnomaly& b) {
+              return std::abs(a.robust_z) > std::abs(b.robust_z);
+            });
+  return anomalies;
+}
+
+}  // namespace soma::analysis

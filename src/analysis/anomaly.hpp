@@ -1,0 +1,58 @@
+// Anomaly and straggler detection over SOMA's collected data.
+//
+// The paper positions SOMA as the data source for online diagnosis
+// (related work §5 cites anomaly-diagnosis consumers; the conclusion calls
+// for identifying performance variations and anomalies). This module
+// implements the first-order detectors a consumer would run against the
+// store: per-configuration straggler detection (robust z-score on execution
+// times) and fleet-relative host underperformance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/advisor.hpp"
+
+namespace soma::analysis {
+
+/// One task execution observation.
+struct TaskSample {
+  std::string uid;
+  std::string label;      ///< configuration group ("openfoam-82", ...)
+  double exec_seconds = 0.0;
+};
+
+enum class AnomalyKind {
+  kStraggler,      ///< much slower than its configuration's median
+  kUnexpectedFast, ///< much faster (often a sign of silent failure)
+};
+
+struct TaskAnomaly {
+  TaskSample sample;
+  AnomalyKind kind;
+  double robust_z = 0.0;   ///< (x - median) / (1.4826 * MAD)
+  double group_median = 0.0;
+};
+
+/// Detect per-label outliers via the robust z-score (median/MAD, which a
+/// few stragglers cannot poison, unlike mean/stddev). Groups with fewer
+/// than `min_group` samples are skipped. |z| >= `threshold` flags.
+std::vector<TaskAnomaly> detect_task_anomalies(
+    const std::vector<TaskSample>& samples, double threshold = 3.0,
+    std::size_t min_group = 4);
+
+/// Hosts whose mean utilization deviates from the fleet mean by more than
+/// `threshold` robust z-scores — candidates for hardware trouble or
+/// scheduling imbalance (paper Fig. 7's "imbalance in the latter half").
+struct HostAnomaly {
+  std::string hostname;
+  double utilization = 0.0;
+  double robust_z = 0.0;
+};
+std::vector<HostAnomaly> detect_host_anomalies(
+    const FreeResourceReport& report, double threshold = 2.5);
+
+/// Median absolute deviation (exposed for tests).
+double median_absolute_deviation(std::vector<double> values);
+
+}  // namespace soma::analysis

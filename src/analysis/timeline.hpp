@@ -1,0 +1,63 @@
+// Resource-utilization timeline reconstruction (paper Fig. 8).
+//
+// From the task event logs, rebuild what every core of the pilot did over
+// time: bootstrap (light blue), task scheduling (purple), task running
+// (green), or idle (white). The fractions and an ASCII rendering of this map
+// are the repo's version of Fig. 8.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rp/session.hpp"
+
+namespace soma::analysis {
+
+enum class CoreState { kIdle = 0, kBootstrap, kScheduling, kRunning };
+
+[[nodiscard]] char state_glyph(CoreState state);
+
+struct CoreSegment {
+  SimTime begin;
+  SimTime end;
+  CoreState state;
+};
+
+/// The reconstructed timeline over a set of nodes.
+class UtilizationTimeline {
+ public:
+  /// Build from a finished session, over `nodes` (typically the worker
+  /// nodes). Time range: pilot grant -> last task launch_stop.
+  static UtilizationTimeline build(rp::Session& session,
+                                   const std::vector<NodeId>& nodes);
+
+  [[nodiscard]] SimTime begin() const { return begin_; }
+  [[nodiscard]] SimTime end() const { return end_; }
+  [[nodiscard]] int core_count() const {
+    return static_cast<int>(cores_.size());
+  }
+
+  /// Fraction of core-time spent in `state` over the whole range.
+  [[nodiscard]] double fraction(CoreState state) const;
+
+  /// Core-state at (core row, time).
+  [[nodiscard]] CoreState state_at(int core_row, SimTime t) const;
+
+  /// ASCII map: one row per core (subsampled to `max_rows`), `cols` time
+  /// buckets; each cell shows the state at the bucket midpoint.
+  [[nodiscard]] std::string render(int cols = 96, int max_rows = 24) const;
+
+ private:
+  struct CoreTrack {
+    NodeId node;
+    CoreId core;
+    std::vector<CoreSegment> segments;  // sorted, non-overlapping
+  };
+
+  SimTime begin_;
+  SimTime end_;
+  std::vector<CoreTrack> cores_;
+};
+
+}  // namespace soma::analysis

@@ -1,0 +1,43 @@
+// Error types. The library throws exceptions only for programmer errors and
+// unrecoverable configuration mistakes; expected runtime conditions (a task
+// that cannot be placed yet, a queue that is empty) are communicated through
+// return values (std::optional / status enums).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace soma {
+
+/// Base class for all library exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid configuration supplied by the caller (bad experiment parameters,
+/// inconsistent resource requests, ...).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// A path or key lookup failed where the caller asserted it must succeed.
+class LookupError : public Error {
+ public:
+  explicit LookupError(const std::string& what) : Error(what) {}
+};
+
+/// Internal invariant violated — indicates a bug in this library.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Throw InternalError if `condition` is false. Used for invariants that are
+/// cheap enough to keep on in release builds.
+inline void check(bool condition, const char* message) {
+  if (!condition) throw InternalError(message);
+}
+
+}  // namespace soma

@@ -1,0 +1,53 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace soma {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row,
+                        std::ostringstream& out) {
+    out << "|";
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out << ' ' << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  render_row(headers_, out);
+  out << "|";
+  for (std::size_t w : widths) out << std::string(w + 2, '-') << "|";
+  out << '\n';
+  for (const auto& row : rows_) render_row(row, out);
+  return out.str();
+}
+
+std::string ascii_bar(double value, double max_value, int width, char fill) {
+  if (max_value <= 0.0 || value <= 0.0 || width <= 0) return {};
+  const double frac = std::min(1.0, value / max_value);
+  const int n = static_cast<int>(frac * width + 0.5);
+  return std::string(static_cast<std::size_t>(n), fill);
+}
+
+}  // namespace soma

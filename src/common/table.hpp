@@ -1,0 +1,31 @@
+// ASCII table rendering for bench/report output. Every bench binary prints
+// its table/figure data through this so the output format is uniform and
+// greppable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace soma {
+
+/// A simple column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a horizontal ASCII bar of `value` scaled so that `max_value`
+/// occupies `width` characters. Used for in-terminal "figures".
+std::string ascii_bar(double value, double max_value, int width = 48,
+                      char fill = '#');
+
+}  // namespace soma

@@ -1,0 +1,17 @@
+#include "common/types.hpp"
+
+#include <cstdio>
+
+namespace soma {
+
+std::string format_seconds(double seconds, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, seconds);
+  return buffer;
+}
+
+std::string format_time(SimTime t, int precision) {
+  return format_seconds(t.to_seconds(), precision);
+}
+
+}  // namespace soma

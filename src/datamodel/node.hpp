@@ -1,0 +1,157 @@
+// Hierarchical, typed data model in the spirit of LLNL Conduit.
+//
+// SOMA represents every monitoring record as a `Node` tree: the top level is
+// a namespace tag ("RP", "PROC", "TAU", "APP"), below that are source tags
+// (task uid, hostname), and leaves carry typed values. See paper §2.3.2,
+// Listings 1 and 2. The model supports:
+//   * object nodes with ordered, named children,
+//   * leaf nodes of type int64 / float64 / string / int64[] / float64[],
+//   * path access ("RP/task.000000/1698435412.606"),
+//   * deep merge (`update`), equality, JSON rendering, and a compact binary
+//     wire format used by the RPC transport.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+namespace soma::datamodel {
+
+class Node {
+ public:
+  enum class Type {
+    kEmpty,
+    kObject,
+    kInt64,
+    kFloat64,
+    kString,
+    kInt64Array,
+    kFloat64Array,
+  };
+
+  Node() = default;
+  Node(const Node& other);
+  Node(Node&&) noexcept = default;
+  Node& operator=(const Node& other);
+  Node& operator=(Node&&) noexcept = default;
+  ~Node() = default;
+
+  // ---- type ----
+  [[nodiscard]] Type type() const;
+  [[nodiscard]] bool is_empty() const { return type() == Type::kEmpty; }
+  [[nodiscard]] bool is_object() const { return type() == Type::kObject; }
+  [[nodiscard]] bool is_leaf() const {
+    return !is_object() && !is_empty();
+  }
+
+  // ---- leaf value setters (clear any children) ----
+  void set(std::int64_t value);
+  void set(double value);
+  void set(std::string value);
+  void set(std::vector<std::int64_t> values);
+  void set(std::vector<double> values);
+  void set(const char* value) { set(std::string{value}); }
+  // Guard against the int64 overload being picked for bool by accident.
+  void set(bool) = delete;
+
+  // ---- leaf value getters (throw LookupError on type mismatch) ----
+  [[nodiscard]] std::int64_t as_int64() const;
+  [[nodiscard]] double as_float64() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<std::int64_t>& as_int64_array() const;
+  [[nodiscard]] const std::vector<double>& as_float64_array() const;
+
+  /// Numeric coercion: int64 or float64 leaf -> double.
+  [[nodiscard]] double to_float64() const;
+
+  // ---- hierarchy ----
+  /// Child by name, created (empty) if absent. Converts this node to an
+  /// object, discarding any leaf value.
+  Node& child(std::string_view name);
+  /// Child by name or nullptr. Never creates.
+  [[nodiscard]] const Node* find_child(std::string_view name) const;
+  [[nodiscard]] Node* find_child(std::string_view name);
+
+  /// Path access with '/'-separated components; creates missing levels.
+  Node& fetch(std::string_view path);
+  /// Path access that throws LookupError when any component is missing.
+  [[nodiscard]] const Node& fetch_existing(std::string_view path) const;
+
+  [[nodiscard]] bool has_child(std::string_view name) const;
+  [[nodiscard]] bool has_path(std::string_view path) const;
+
+  /// Remove a direct child; returns true if it existed.
+  bool remove_child(std::string_view name);
+
+  [[nodiscard]] std::size_t number_of_children() const {
+    return children_.size();
+  }
+  [[nodiscard]] const std::vector<std::string>& child_names() const {
+    return child_names_;
+  }
+  /// Child access by insertion index (with bounds check).
+  [[nodiscard]] const Node& child_at(std::size_t index) const;
+  [[nodiscard]] Node& child_at(std::size_t index);
+
+  /// Sugar: node["a"]["b"] — equivalent to child(name).
+  Node& operator[](std::string_view name) { return child(name); }
+
+  /// Reset to empty (no value, no children).
+  void reset();
+
+  // ---- merge ----
+  /// Deep merge: leaves in `other` overwrite, objects merge recursively.
+  /// Matches Conduit's Node::update semantics.
+  void update(const Node& other);
+
+  // ---- equality (deep, exact) ----
+  bool operator==(const Node& other) const;
+
+  // ---- introspection ----
+  /// Total number of leaf values in the subtree.
+  [[nodiscard]] std::size_t leaf_count() const;
+  /// Approximate serialized size in bytes (matches pack() exactly).
+  [[nodiscard]] std::size_t packed_size() const;
+
+  // ---- serialization ----
+  /// Render as JSON. `indent` > 0 pretty-prints.
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+
+  /// Parse JSON produced by to_json (null / integer / double / string /
+  /// homogeneous numeric array / object). Throws LookupError on malformed
+  /// or unrepresentable input.
+  static Node parse_json(std::string_view json);
+
+  /// Compact binary wire format (tag/length/value). Appends to `out`.
+  void pack(std::vector<std::byte>& out) const;
+  [[nodiscard]] std::vector<std::byte> pack() const;
+  /// Parse a buffer produced by pack(). Throws LookupError on malformed
+  /// input (truncation, unknown tags).
+  static Node unpack(std::span<const std::byte> buffer);
+
+ private:
+  using Value = std::variant<std::monostate, std::int64_t, double, std::string,
+                             std::vector<std::int64_t>, std::vector<double>>;
+
+  void clear_value() { value_ = std::monostate{}; }
+  void clear_children();
+  static Node unpack_one(std::span<const std::byte> buffer,
+                         std::size_t& offset);
+
+  Value value_;
+  // Insertion-ordered children with an index for O(1) name lookup.
+  std::vector<std::unique_ptr<Node>> children_;
+  std::vector<std::string> child_names_;
+  std::unordered_map<std::string, std::size_t> child_index_;
+};
+
+/// Human-readable name of a node type ("int64", "object", ...).
+std::string_view type_name(Node::Type type);
+
+}  // namespace soma::datamodel

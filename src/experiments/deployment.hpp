@@ -1,0 +1,128 @@
+// SOMA-on-RP deployment orchestration (paper Fig. 2).
+//
+// Reproduces the bootstrap sequence of §2.3.1: once the RP agent is up,
+//   (3) the SOMA service task is scheduled first (on the service nodes),
+//   (4) the RP monitoring task is scheduled, co-located with the agent,
+//   (5) one hardware monitoring task per compute node is scheduled,
+//   (6) only then does the experiment release application tasks.
+// The deployment also wires the two interference mechanisms: hardware
+// monitors add per-node execution noise, and the RP monitor's CPU share on
+// the agent node inflates scheduler decision cost.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "monitors/hw_monitor.hpp"
+#include "monitors/rp_monitor.hpp"
+#include "profiler/tau.hpp"
+#include "rp/session.hpp"
+#include "soma/client.hpp"
+#include "soma/service.hpp"
+#include "workloads/openfoam.hpp"
+
+namespace soma::experiments {
+
+enum class SomaMode {
+  kNone,       ///< no SOMA nodes, no monitoring (the Fig. 11 baseline)
+  kExclusive,  ///< SOMA nodes reserved; app tasks never use them
+  kShared,     ///< RP may schedule app tasks on SOMA nodes' free capacity
+};
+
+[[nodiscard]] std::string_view to_string(SomaMode mode);
+
+struct DeploymentConfig {
+  SomaMode mode = SomaMode::kExclusive;
+  /// Nodes for the SOMA service task; for the OpenFOAM runs this is the
+  /// agent node (service co-located with RP), for scaling runs a dedicated
+  /// node set.
+  std::vector<NodeId> service_nodes;
+
+  core::ServiceConfig service{};
+  monitors::RpMonitorConfig rp_monitor{};
+  monitors::HwMonitorConfig hw_monitor{};
+
+  bool enable_rp_monitor = true;
+  bool enable_hw_monitors = true;
+  /// Monitored nodes (hardware monitors); empty = all pilot nodes.
+  std::vector<NodeId> monitored_nodes;
+
+  /// Scale factor from the RP monitor's agent-node CPU share to scheduler
+  /// decision slowdown. The agent's scheduler and the monitor compete for
+  /// the same few cores, so contention is super-proportional.
+  double agent_contention_coeff = 4.0;
+
+  /// First port for client-stub engines (service uses service.base_port).
+  int base_client_port = 20000;
+};
+
+class SomaDeployment {
+ public:
+  SomaDeployment(rp::Session& session, DeploymentConfig config);
+  ~SomaDeployment();
+
+  /// Submit the service + monitor tasks; `on_ready` fires when the service
+  /// endpoints are live and all monitors are ticking. With mode == kNone the
+  /// callback fires immediately and nothing is deployed.
+  void deploy(std::function<void()> on_ready);
+
+  /// Stop monitors and the service task (end-of-workflow control command).
+  void shutdown();
+
+  [[nodiscard]] bool deployed() const { return service_ != nullptr; }
+  [[nodiscard]] core::SomaService& service();
+  [[nodiscard]] monitors::RpMonitor* rp_monitor() { return rp_monitor_.get(); }
+  [[nodiscard]] const std::vector<std::unique_ptr<monitors::HwMonitor>>&
+  hw_monitors() const {
+    return hw_monitors_;
+  }
+
+  /// Attach TAU profiling: every completed application task whose
+  /// description carries an OpenFoamModel gets profiled and published to the
+  /// performance namespace (paper §3.1, third data source).
+  void enable_openfoam_tau(
+      std::shared_ptr<const workloads::OpenFoamModel> model);
+
+  [[nodiscard]] std::uint64_t tau_profiles_published() const;
+
+  /// Mean/max publish->ack latency across all monitor clients, in
+  /// milliseconds. The "is SOMA keeping pace" signal of the scaling runs.
+  [[nodiscard]] double mean_client_ack_latency_ms() const;
+  [[nodiscard]] double max_client_ack_latency_ms() const;
+
+  /// Build a fresh client against one namespace instance (for the adaptive
+  /// advisor or application-namespace use).
+  std::unique_ptr<core::SomaClient> make_client(core::Namespace ns,
+                                                NodeId node);
+
+ private:
+  void register_standard_analyzers();
+  void start_monitors();
+  int next_port() { return next_client_port_++; }
+
+  rp::Session& session_;
+  DeploymentConfig config_;
+  std::function<void()> on_ready_;
+
+  std::shared_ptr<rp::Task> service_task_;
+  std::unique_ptr<core::SomaService> service_;
+
+  std::unique_ptr<core::SomaClient> rp_monitor_client_;
+  std::unique_ptr<monitors::RpMonitor> rp_monitor_;
+  std::shared_ptr<rp::Task> rp_monitor_task_;
+
+  std::vector<std::unique_ptr<core::SomaClient>> hw_clients_;
+  std::vector<std::unique_ptr<monitors::HwMonitor>> hw_monitors_;
+  std::vector<std::shared_ptr<rp::Task>> hw_monitor_tasks_;
+
+  std::vector<std::unique_ptr<core::SomaClient>> tau_clients_;
+  std::vector<std::unique_ptr<profiler::TauSomaPlugin>> tau_plugins_;
+  std::shared_ptr<const workloads::OpenFoamModel> tau_model_;
+
+  int next_client_port_;
+  bool shutdown_ = false;
+};
+
+}  // namespace soma::experiments

@@ -1,0 +1,205 @@
+#include "experiments/openfoam_experiment.hpp"
+
+#include <algorithm>
+
+#include "analysis/advisor.hpp"
+#include "analysis/timeline.hpp"
+#include "common/error.hpp"
+
+namespace soma::experiments {
+
+OpenFoamExperimentConfig OpenFoamExperimentConfig::tuning(std::uint64_t seed) {
+  OpenFoamExperimentConfig config;
+  config.overload = false;
+  config.worker_nodes = 4;
+  config.instances_per_config = 1;
+  config.seed = seed;
+  return config;
+}
+
+OpenFoamExperimentConfig OpenFoamExperimentConfig::overloaded(
+    std::uint64_t seed) {
+  OpenFoamExperimentConfig config;
+  config.overload = true;
+  config.worker_nodes = 10;
+  config.instances_per_config = 20;
+  config.seed = seed;
+  return config;
+}
+
+namespace {
+
+/// Task submission order: descending rank count, repeated per instance. The
+/// tuning run then reproduces Fig. 8 (bottom): the 164-rank task takes every
+/// core first, and the smaller tasks run simultaneously after it.
+std::vector<int> submission_order(const OpenFoamExperimentConfig& config) {
+  std::vector<int> configs = config.rank_configs;
+  std::sort(configs.rbegin(), configs.rend());
+  std::vector<int> order;
+  order.reserve(configs.size() *
+                static_cast<std::size_t>(config.instances_per_config));
+  for (int instance = 0; instance < config.instances_per_config; ++instance) {
+    for (int ranks : configs) order.push_back(ranks);
+  }
+  return order;
+}
+
+}  // namespace
+
+OpenFoamResult run_openfoam_experiment(
+    const OpenFoamExperimentConfig& config) {
+  OpenFoamResult result;
+  result.config = config;
+
+  // Platform: worker nodes plus one extra node reserved for the RP agent
+  // and the SOMA service (paper §3.1: "one extra node (for 5, and 11
+  // total)").
+  rp::SessionConfig session_config;
+  session_config.platform = cluster::summit(config.worker_nodes + 1);
+  session_config.pilot.nodes = config.worker_nodes + 1;
+  session_config.agent_nodes = 1;
+  session_config.seed = config.seed;
+  rp::Session session(session_config);
+
+  auto model =
+      workloads::make_openfoam_model(&session.platform(), config.params);
+
+  std::unique_ptr<SomaDeployment> deployment;
+  auto app_outstanding = std::make_shared<int>(0);
+  std::optional<SimTime> first_submit;
+  std::optional<SimTime> last_complete;
+
+  session.add_task_completion_listener(
+      [&](const std::shared_ptr<rp::Task>& task) {
+        if (task->description().kind != rp::TaskKind::kApplication) return;
+        last_complete = session.simulation().now();
+        if (--*app_outstanding == 0) {
+          if (deployment) deployment->shutdown();
+          session.finalize();
+        }
+      });
+
+  auto submit_app_tasks = [&] {
+    first_submit = session.simulation().now();
+    int index = 0;
+    for (int ranks : submission_order(config)) {
+      rp::TaskDescription desc;
+      char uid[48];
+      std::snprintf(uid, sizeof(uid), "openfoam.%03d.r%03d", index++, ranks);
+      desc.uid = uid;
+      desc.label = "openfoam-" + std::to_string(ranks);
+      desc.ranks = ranks;
+      desc.cores_per_rank = 1;
+      desc.cpu_activity = 0.97;  // MPI solver: cores spin even while waiting
+      desc.model = model;
+      desc.mem_per_rank_mib = 1024.0;
+      ++*app_outstanding;
+      session.submit(desc);
+    }
+  };
+
+  session.start([&] {
+    if (!config.monitoring) {
+      submit_app_tasks();
+      return;
+    }
+    DeploymentConfig deploy_config;
+    deploy_config.mode = SomaMode::kExclusive;
+    // SOMA service co-located with the RP agent node.
+    deploy_config.service_nodes = session.agent_node_ids();
+    deploy_config.service.ranks_per_namespace =
+        config.soma_ranks_per_namespace;
+    deploy_config.rp_monitor.period = config.rp_monitor_period;
+    deploy_config.hw_monitor.period = config.hw_monitor_period;
+    deployment = std::make_unique<SomaDeployment>(session, deploy_config);
+    deployment->enable_openfoam_tau(model);
+    deployment->deploy([&] { submit_app_tasks(); });
+  });
+
+  session.run();
+  check(*app_outstanding == 0, "openfoam experiment: tasks did not finish");
+
+  // ---- extract results ----
+  for (const auto& task : session.tasks()) {
+    if (task->description().kind != rp::TaskKind::kApplication) continue;
+    OpenFoamTaskRecord record;
+    record.uid = task->uid();
+    record.ranks = task->description().ranks;
+    record.exec_seconds = task->rank_duration().value().to_seconds();
+    record.nodes_spanned = task->placement()->nodes_spanned();
+    record.started_at =
+        task->event_time(rp::events::kRankStart).value().to_seconds();
+    result.tasks.push_back(std::move(record));
+  }
+
+  // Fig. 4 (scaling) and Fig. 6 (spread).
+  std::map<int, std::vector<double>> by_ranks;
+  for (const auto& record : result.tasks) {
+    by_ranks[record.ranks].push_back(record.exec_seconds);
+    result.by_spread[{record.ranks, record.nodes_spanned}].push_back(
+        record.exec_seconds);
+  }
+  for (const auto& [ranks, times] : by_ranks) {
+    result.scaling[ranks] = summarize(times);
+  }
+
+  // Fig. 8: the worker-node core map.
+  auto timeline =
+      analysis::UtilizationTimeline::build(session, session.worker_node_ids());
+  result.frac_bootstrap = timeline.fraction(analysis::CoreState::kBootstrap);
+  result.frac_scheduling = timeline.fraction(analysis::CoreState::kScheduling);
+  result.frac_running = timeline.fraction(analysis::CoreState::kRunning);
+  result.frac_idle = timeline.fraction(analysis::CoreState::kIdle);
+  result.timeline_render = timeline.render();
+
+  result.makespan_seconds =
+      first_submit && last_complete
+          ? (*last_complete - *first_submit).to_seconds()
+          : 0.0;
+
+  if (deployment && deployment->deployed()) {
+    const core::DataStore& store = deployment->service().store();
+
+    // Fig. 7: utilization series per host + observed task starts.
+    for (const std::string& host :
+         store.sources(core::Namespace::kHardware)) {
+      auto& series = result.node_utilization[host];
+      for (const auto& record :
+           store.series(core::Namespace::kHardware, host)) {
+        if (const auto* node = record.data.find_child(host)) {
+          if (const auto* util = node->find_child("cpu_utilization")) {
+            series.emplace_back(record.time.to_seconds(), util->to_float64());
+          }
+        }
+      }
+    }
+    for (const auto& [time, uid] :
+         analysis::observed_task_starts(store)) {
+      result.observed_task_starts.emplace_back(time.to_seconds(), uid);
+    }
+
+    // Fig. 5: the TAU profile of one max-rank task, read back from the
+    // performance namespace.
+    const int max_ranks = *std::max_element(config.rank_configs.begin(),
+                                            config.rank_configs.end());
+    for (const auto& record : result.tasks) {
+      if (record.ranks != max_ranks) continue;
+      const auto& series =
+          store.series(core::Namespace::kPerformance, record.uid);
+      if (series.empty()) continue;
+      result.sample_profile =
+          profiler::TauProfile::from_node(record.uid, series.back().data);
+      break;
+    }
+
+    result.soma_publishes = deployment->service().publishes_received();
+    result.tau_profiles = deployment->tau_profiles_published();
+    result.soma_max_queue_delay_ms =
+        deployment->service().max_queue_delay().to_seconds() * 1e3;
+    result.mean_ack_latency_ms = deployment->mean_client_ack_latency_ms();
+  }
+
+  return result;
+}
+
+}  // namespace soma::experiments

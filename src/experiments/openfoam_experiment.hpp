@@ -1,0 +1,91 @@
+// The OpenFOAM workflow experiments (paper §3.1, Table 1; Figs. 4-8).
+//
+// Two configurations:
+//   * "tuning":    1 instance of each rank configuration on 4 worker nodes,
+//   * "overloaded": 20 instances of each on 10 worker nodes,
+// plus one extra node reserved for the RP agent and the SOMA service. Rank
+// configurations are {20, 41, 82, 164}; one core per node is reserved for
+// the SOMA hardware monitoring client, and the three monitors are proc, rp,
+// and tau.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "experiments/deployment.hpp"
+#include "profiler/tau.hpp"
+#include "workloads/openfoam.hpp"
+
+namespace soma::experiments {
+
+struct OpenFoamExperimentConfig {
+  bool overload = false;          ///< false = tuning run
+  int worker_nodes = 4;           ///< tuning: 4, overload: 10
+  int instances_per_config = 1;   ///< tuning: 1, overload: 20
+  std::vector<int> rank_configs = {20, 41, 82, 164};
+
+  bool monitoring = true;
+  Duration hw_monitor_period = Duration::seconds(30.0);  ///< Fig. 7
+  Duration rp_monitor_period = Duration::seconds(30.0);
+  int soma_ranks_per_namespace = 1;                      ///< Table 1
+
+  workloads::OpenFoamParams params{};
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] static OpenFoamExperimentConfig tuning(std::uint64_t seed = 1);
+  [[nodiscard]] static OpenFoamExperimentConfig overloaded(
+      std::uint64_t seed = 1);
+};
+
+struct OpenFoamTaskRecord {
+  std::string uid;
+  int ranks = 0;
+  double exec_seconds = 0.0;   ///< rank_start -> rank_stop
+  int nodes_spanned = 0;
+  double started_at = 0.0;     ///< rank_start, seconds since t=0
+};
+
+struct OpenFoamResult {
+  OpenFoamExperimentConfig config;
+  std::vector<OpenFoamTaskRecord> tasks;
+
+  /// Fig. 4: rank count -> execution-time summary across instances.
+  std::map<int, Summary> scaling;
+
+  /// Fig. 6: (rank count, nodes spanned) -> execution times.
+  std::map<std::pair<int, int>, std::vector<double>> by_spread;
+
+  /// Fig. 7: per-host utilization series (from the SOMA hardware store) and
+  /// the task starts the RP monitor observed.
+  std::map<std::string, std::vector<std::pair<double, double>>>
+      node_utilization;
+  std::vector<std::pair<double, std::string>> observed_task_starts;
+
+  /// Fig. 8: core-state fractions + ASCII map over the worker nodes.
+  double frac_bootstrap = 0.0;
+  double frac_scheduling = 0.0;
+  double frac_running = 0.0;
+  double frac_idle = 0.0;
+  std::string timeline_render;
+
+  /// Fig. 5: TAU profile of one completed max-rank task (from the SOMA
+  /// performance store).
+  profiler::TauProfile sample_profile;
+
+  double makespan_seconds = 0.0;  ///< first submit -> last app completion
+
+  // SOMA service accounting.
+  std::uint64_t soma_publishes = 0;
+  std::uint64_t tau_profiles = 0;
+  double soma_max_queue_delay_ms = 0.0;
+  double mean_ack_latency_ms = 0.0;
+};
+
+/// Run the experiment end to end (builds its own Session) and extract every
+/// figure's data.
+OpenFoamResult run_openfoam_experiment(const OpenFoamExperimentConfig& config);
+
+}  // namespace soma::experiments

@@ -1,0 +1,140 @@
+#include "monitors/rp_monitor.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace soma::monitors {
+
+RpMonitor::RpMonitor(rp::Session& session, core::SomaClient& client,
+                     RpMonitorConfig config)
+    : session_(session), client_(client), config_(config) {
+  check(client_.target_namespace() == core::Namespace::kWorkflow,
+        "RP monitor requires a workflow-namespace client");
+  periodic_ = std::make_unique<sim::PeriodicTask>(
+      session_.simulation(), config_.period, [this] { tick(); });
+}
+
+void RpMonitor::start(Duration initial_delay) {
+  periodic_->start(initial_delay);
+}
+
+void RpMonitor::stop() {
+  // Final flush: publish the end-of-workflow state (completions that landed
+  // since the last periodic tick would otherwise never be reported).
+  if (periodic_->running()) tick();
+  periodic_->stop();
+}
+
+double RpMonitor::cpu_share() const {
+  const double tracked = static_cast<double>(session_.tasks().size());
+  const double cost_seconds =
+      config_.summarize_base_cost.to_seconds() +
+      config_.summarize_per_task_cost.to_seconds() * tracked;
+  return std::min(config_.cpu_share_cap,
+                  cost_seconds / config_.period.to_seconds());
+}
+
+WorkflowSummary RpMonitor::compute_summary() const {
+  WorkflowSummary summary;
+  double exec_sum = 0.0;
+  std::int64_t exec_count = 0;
+  double tmgr_sum = 0.0, agent_sum = 0.0, launch_sum = 0.0;
+  std::int64_t tmgr_count = 0, agent_count = 0, launch_count = 0;
+  for (const auto& task : session_.tasks()) {
+    // State dwell times for every task that progressed past the state.
+    const auto tmgr = task->state_entered(rp::TaskState::kTmgrScheduling);
+    const auto agent = task->state_entered(rp::TaskState::kAgentScheduling);
+    const auto executing = task->state_entered(rp::TaskState::kExecuting);
+    if (tmgr && agent) {
+      tmgr_sum += (*agent - *tmgr).to_seconds();
+      ++tmgr_count;
+    }
+    if (agent && executing) {
+      agent_sum += (*executing - *agent).to_seconds();
+      ++agent_count;
+    }
+    const auto launch_start = task->event_time(rp::events::kLaunchStart);
+    const auto rank_start = task->event_time(rp::events::kRankStart);
+    if (launch_start && rank_start) {
+      launch_sum += (*rank_start - *launch_start).to_seconds();
+      ++launch_count;
+    }
+    ++summary.tasks_total;
+    switch (task->state()) {
+      case rp::TaskState::kNew:
+      case rp::TaskState::kTmgrScheduling:
+      case rp::TaskState::kAgentScheduling:
+        ++summary.tasks_pending;
+        break;
+      case rp::TaskState::kExecuting:
+        ++summary.tasks_executing;
+        break;
+      case rp::TaskState::kDone: {
+        ++summary.tasks_done;
+        if (const auto d = task->rank_duration()) {
+          exec_sum += d->to_seconds();
+          ++exec_count;
+        }
+        break;
+      }
+      case rp::TaskState::kFailed:
+      case rp::TaskState::kCanceled:
+        ++summary.tasks_failed;
+        break;
+    }
+  }
+  if (exec_count > 0) {
+    summary.mean_exec_seconds = exec_sum / static_cast<double>(exec_count);
+  }
+  if (tmgr_count > 0) {
+    summary.mean_tmgr_wait_seconds =
+        tmgr_sum / static_cast<double>(tmgr_count);
+  }
+  if (agent_count > 0) {
+    summary.mean_agent_wait_seconds =
+        agent_sum / static_cast<double>(agent_count);
+  }
+  if (launch_count > 0) {
+    summary.mean_launch_overhead_seconds =
+        launch_sum / static_cast<double>(launch_count);
+  }
+  return summary;
+}
+
+void RpMonitor::tick() {
+  ++ticks_;
+  WorkflowSummary summary = compute_summary();
+  summary.throughput_per_min =
+      static_cast<double>(summary.tasks_done - done_at_last_tick_) /
+      (config_.period.to_seconds() / 60.0);
+  done_at_last_tick_ = summary.tasks_done;
+  last_summary_ = summary;
+
+  // Build the workflow-namespace record: a summary block plus the raw new
+  // profile events since the last tick (Listing 1 layout:
+  // <uid>/<timestamp> = <event>).
+  datamodel::Node data;
+  datamodel::Node& s = data["summary"];
+  s["tasks_total"].set(summary.tasks_total);
+  s["tasks_pending"].set(summary.tasks_pending);
+  s["tasks_executing"].set(summary.tasks_executing);
+  s["tasks_done"].set(summary.tasks_done);
+  s["tasks_failed"].set(summary.tasks_failed);
+  s["throughput_per_min"].set(summary.throughput_per_min);
+  s["mean_exec_seconds"].set(summary.mean_exec_seconds);
+  s["mean_tmgr_wait_seconds"].set(summary.mean_tmgr_wait_seconds);
+  s["mean_agent_wait_seconds"].set(summary.mean_agent_wait_seconds);
+  s["mean_launch_overhead_seconds"].set(
+      summary.mean_launch_overhead_seconds);
+
+  datamodel::Node& events = data["events"];
+  for (const auto& record :
+       session_.profiles().read_since(profile_cursor_)) {
+    events[record.uid][std::to_string(record.time.nanos())].set(record.event);
+  }
+
+  client_.publish("rp_monitor", std::move(data));
+}
+
+}  // namespace soma::monitors

@@ -1,0 +1,85 @@
+// The RP workflow-monitoring client (paper §2.3.2, "Workflow Namespace").
+//
+// One per workflow, co-located with the RP agent. At a configurable
+// frequency it tails RP's profile stream, computes summary statistics (task
+// counts by state, throughput, state dwell times) plus the raw new events,
+// and publishes the result to the SOMA workflow instance.
+//
+// Cost model: summarizing n tracked tasks costs base + per_task * n of agent
+// -node CPU per tick. The resulting CPU share is exported so the session can
+// inflate agent scheduler decision cost — the mechanism behind the
+// frequent-monitoring overhead at scale (paper Fig. 11).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "rp/session.hpp"
+#include "sim/simulation.hpp"
+#include "soma/client.hpp"
+
+namespace soma::monitors {
+
+struct RpMonitorConfig {
+  Duration period = Duration::seconds(60.0);
+  /// Fixed cost per tick (read profiles, build the Node).
+  Duration summarize_base_cost = Duration::milliseconds(20);
+  /// Additional cost per tracked task per tick.
+  Duration summarize_per_task_cost = Duration::milliseconds(2);
+  /// The monitor is a single-threaded daemon: its CPU share saturates well
+  /// below one core once ticks start overrunning the period.
+  double cpu_share_cap = 0.30;
+};
+
+/// Snapshot of workflow state the monitor publishes each tick.
+struct WorkflowSummary {
+  std::int64_t tasks_total = 0;
+  std::int64_t tasks_pending = 0;    ///< NEW/TMGR/AGENT scheduling
+  std::int64_t tasks_executing = 0;
+  std::int64_t tasks_done = 0;
+  std::int64_t tasks_failed = 0;
+  double throughput_per_min = 0.0;   ///< completions in the last window
+  double mean_exec_seconds = 0.0;    ///< mean rank duration of done tasks
+
+  // Mean time spent in each state by tasks that left it (paper §2.3.2:
+  // "calculates the time spent in each state, and sends it via RPC").
+  double mean_tmgr_wait_seconds = 0.0;    ///< TMGR_SCHEDULING dwell
+  double mean_agent_wait_seconds = 0.0;   ///< AGENT_SCHEDULING dwell
+  double mean_launch_overhead_seconds = 0.0;  ///< launch_start -> rank_start
+};
+
+class RpMonitor {
+ public:
+  RpMonitor(rp::Session& session, core::SomaClient& client,
+            RpMonitorConfig config = {});
+
+  void start(Duration initial_delay = Duration::zero());
+  void stop();
+
+  /// Fraction of one agent-node core this monitor consumes (cost / period);
+  /// the session reads this to derive scheduler contention.
+  [[nodiscard]] double cpu_share() const;
+
+  [[nodiscard]] const WorkflowSummary& last_summary() const {
+    return last_summary_;
+  }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+  [[nodiscard]] const RpMonitorConfig& config() const { return config_; }
+
+  /// Compute the summary without publishing (used by tests/advisor).
+  [[nodiscard]] WorkflowSummary compute_summary() const;
+
+ private:
+  void tick();
+
+  rp::Session& session_;
+  core::SomaClient& client_;
+  RpMonitorConfig config_;
+  std::unique_ptr<sim::PeriodicTask> periodic_;
+  std::size_t profile_cursor_ = 0;
+  std::uint64_t ticks_ = 0;
+  std::int64_t done_at_last_tick_ = 0;
+  WorkflowSummary last_summary_;
+};
+
+}  // namespace soma::monitors

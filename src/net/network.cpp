@@ -1,0 +1,95 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace soma::net {
+
+namespace {
+constexpr std::string_view kScheme = "sim://node";
+}
+
+Address make_address(NodeId node, int port) {
+  return std::string(kScheme) + std::to_string(node) + ":" +
+         std::to_string(port);
+}
+
+NodeId address_node(const Address& address) {
+  if (address.rfind(kScheme, 0) != 0) {
+    throw ConfigError("malformed address: " + address);
+  }
+  const std::size_t start = kScheme.size();
+  const std::size_t colon = address.find(':', start);
+  if (colon == std::string::npos) {
+    throw ConfigError("malformed address (no port): " + address);
+  }
+  NodeId node = -1;
+  const auto result = std::from_chars(address.data() + start,
+                                      address.data() + colon, node);
+  if (result.ec != std::errc{} || node < 0) {
+    throw ConfigError("malformed address (bad node id): " + address);
+  }
+  return node;
+}
+
+Network::Network(sim::Simulation& simulation, NetworkConfig config)
+    : simulation_(simulation), config_(config) {
+  check(config_.bandwidth_bytes_per_sec > 0, "bandwidth must be positive");
+}
+
+void Network::bind(const Address& address, Delivery delivery) {
+  address_node(address);  // validate format
+  const auto [it, inserted] = endpoints_.emplace(address, std::move(delivery));
+  (void)it;
+  if (!inserted) throw ConfigError("address already bound: " + address);
+}
+
+void Network::unbind(const Address& address) { endpoints_.erase(address); }
+
+bool Network::is_bound(const Address& address) const {
+  return endpoints_.contains(address);
+}
+
+SimTime Network::send(const Address& from, const Address& to,
+                      std::vector<std::byte> payload) {
+  const NodeId src = address_node(from);
+  const NodeId dst = address_node(to);
+  const auto size = static_cast<double>(payload.size());
+
+  const bool local = src == dst;
+  const Duration wire_latency =
+      local ? config_.loopback_latency : config_.latency;
+  const Duration transfer =
+      local ? Duration::zero()
+            : Duration::seconds(size / config_.bandwidth_bytes_per_sec);
+
+  // NIC serialization: a send may not start before the previous send from
+  // the same node finished putting bits on the wire.
+  SimTime start = simulation_.now();
+  if (!local) {
+    auto& free_at = nic_free_at_[src];
+    start = std::max(start, free_at);
+    free_at = start + transfer;
+  }
+  const SimTime arrival = start + transfer + wire_latency;
+
+  ++messages_sent_;
+  bytes_sent_ += payload.size();
+
+  simulation_.schedule_at(
+      arrival, [this, from, to, data = std::move(payload)]() mutable {
+        const auto it = endpoints_.find(to);
+        if (it == endpoints_.end()) {
+          ++messages_dropped_;
+          SOMA_DEBUG() << "network: dropped message to unbound " << to;
+          return;
+        }
+        it->second(from, std::move(data));
+      });
+  return arrival;
+}
+
+}  // namespace soma::net

@@ -1,0 +1,85 @@
+// Simulated interconnect fabric.
+//
+// Models the message-transport substrate that Mochi's Mercury RPC library
+// rides on (paper §2.2). A message from node A to node B arrives after
+//   latency + size / bandwidth
+// plus per-link serialization: each endpoint NIC transmits messages one at a
+// time, so bursts queue. Intra-node messages pay a (much smaller) loopback
+// latency and no bandwidth charge.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulation.hpp"
+
+namespace soma::net {
+
+/// Endpoint address, Mercury-style URI ("sim://node3:7777").
+using Address = std::string;
+
+/// Build an address from a node id and port.
+Address make_address(NodeId node, int port);
+/// Parse the node id back out of an address. Throws ConfigError on a
+/// malformed address.
+NodeId address_node(const Address& address);
+
+struct NetworkConfig {
+  /// One-way wire latency between distinct nodes (EDR InfiniBand-class).
+  Duration latency = Duration::microseconds(2);
+  /// Loopback latency for same-node messages (shared-memory transport).
+  Duration loopback_latency = Duration::nanoseconds(500);
+  /// Link bandwidth in bytes/second (Summit: dual EDR ~ 25 GB/s practical).
+  double bandwidth_bytes_per_sec = 12.5e9;
+};
+
+/// The fabric. Endpoints register a delivery callback keyed by address;
+/// `send` schedules delivery through the simulation.
+class Network {
+ public:
+  using Delivery = std::function<void(const Address& from,
+                                      std::vector<std::byte> payload)>;
+
+  Network(sim::Simulation& simulation, NetworkConfig config = {});
+
+  sim::Simulation& simulation() { return simulation_; }
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+  /// Register an endpoint. Throws ConfigError if the address is taken.
+  void bind(const Address& address, Delivery delivery);
+  /// Remove an endpoint (messages in flight to it are dropped silently,
+  /// mirroring a closed Mercury endpoint).
+  void unbind(const Address& address);
+
+  [[nodiscard]] bool is_bound(const Address& address) const;
+
+  /// Transmit `payload` from `from` to `to`. Delivery time accounts for
+  /// latency, bandwidth, and per-source-NIC serialization. Returns the
+  /// simulated delivery time.
+  SimTime send(const Address& from, const Address& to,
+               std::vector<std::byte> payload);
+
+  // ---- accounting ----
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const {
+    return messages_dropped_;
+  }
+
+ private:
+  sim::Simulation& simulation_;
+  NetworkConfig config_;
+  std::unordered_map<Address, Delivery> endpoints_;
+  // Per-source-node NIC availability: next time the NIC is free to start
+  // transmitting. Models serialization of back-to-back sends.
+  std::unordered_map<NodeId, SimTime> nic_free_at_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace soma::net

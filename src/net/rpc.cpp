@@ -1,0 +1,116 @@
+#include "net/rpc.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace soma::net {
+namespace {
+
+// Message envelope carried over the fabric. kind: 0 = request, 1 = response.
+datamodel::Node make_envelope(std::int64_t kind, std::uint64_t request_id,
+                              const std::string& rpc, datamodel::Node body) {
+  datamodel::Node envelope;
+  envelope["kind"].set(kind);
+  envelope["id"].set(static_cast<std::int64_t>(request_id));
+  if (!rpc.empty()) envelope["rpc"].set(rpc);
+  envelope["body"] = std::move(body);
+  return envelope;
+}
+
+}  // namespace
+
+Engine::Engine(Network& network, Address address, ServiceCost cost)
+    : network_(network), address_(std::move(address)), cost_(cost) {
+  network_.bind(address_, [this](const Address& from,
+                                 std::vector<std::byte> payload) {
+    on_message(from, std::move(payload));
+  });
+}
+
+Engine::~Engine() { network_.unbind(address_); }
+
+void Engine::define(const std::string& rpc, Handler handler) {
+  const auto [it, inserted] = handlers_.emplace(rpc, std::move(handler));
+  (void)it;
+  if (!inserted) throw ConfigError("rpc already defined: " + rpc);
+}
+
+void Engine::call(const Address& dest, const std::string& rpc,
+                  datamodel::Node args, ResponseCallback on_response) {
+  const std::uint64_t id = next_request_id_++;
+  if (on_response) pending_.emplace(id, std::move(on_response));
+
+  datamodel::Node envelope = make_envelope(0, id, rpc, std::move(args));
+  std::vector<std::byte> wire = envelope.pack();
+  stats_.bytes_out += wire.size();
+  ++stats_.requests_sent;
+  network_.send(address_, dest, std::move(wire));
+}
+
+void Engine::on_message(const Address& from, std::vector<std::byte> payload) {
+  const std::size_t payload_bytes = payload.size();
+  datamodel::Node envelope = datamodel::Node::unpack(payload);
+  const std::int64_t kind = envelope.fetch_existing("kind").as_int64();
+  const auto request_id =
+      static_cast<std::uint64_t>(envelope.fetch_existing("id").as_int64());
+
+  if (kind == 0) {
+    const std::string rpc = envelope.fetch_existing("rpc").as_string();
+    datamodel::Node body;
+    if (auto* b = envelope.find_child("body")) body = std::move(*b);
+    handle_request(from, request_id, rpc, std::move(body), payload_bytes);
+  } else {
+    ++stats_.responses_received;
+    const auto it = pending_.find(request_id);
+    if (it == pending_.end()) return;  // fire-and-forget ack
+    ResponseCallback callback = std::move(it->second);
+    pending_.erase(it);
+    datamodel::Node body;
+    if (auto* b = envelope.find_child("body")) body = std::move(*b);
+    callback(std::move(body));
+  }
+}
+
+void Engine::handle_request(const Address& from, std::uint64_t request_id,
+                            const std::string& rpc, datamodel::Node args,
+                            std::size_t payload_bytes) {
+  stats_.bytes_in += payload_bytes;
+  if (cost_.is_bulk(payload_bytes)) ++stats_.bulk_transfers;
+
+  // Serial service: the request waits until the engine has drained its
+  // backlog, then occupies it for the ingest cost.
+  sim::Simulation& simulation = network_.simulation();
+  const SimTime now = simulation.now();
+  const SimTime start = std::max(now, busy_until_);
+  const Duration service = cost_.cost_for(payload_bytes);
+  busy_until_ = start + service;
+
+  const Duration queue_delay = start - now;
+  stats_.total_queue_delay += queue_delay;
+  stats_.max_queue_delay = std::max(stats_.max_queue_delay, queue_delay);
+  stats_.total_service_time += service;
+
+  simulation.schedule_at(
+      busy_until_,
+      [this, from, request_id, rpc, args = std::move(args)]() mutable {
+        ++stats_.requests_handled;
+        datamodel::Node response;
+        const auto it = handlers_.find(rpc);
+        if (it != handlers_.end()) {
+          response = it->second(from, args);
+        } else {
+          SOMA_WARN() << "rpc engine " << address_ << ": unknown rpc '" << rpc
+                      << "'";
+          response["error"].set("unknown rpc: " + rpc);
+        }
+        datamodel::Node envelope =
+            make_envelope(1, request_id, "", std::move(response));
+        std::vector<std::byte> wire = envelope.pack();
+        stats_.bytes_out += wire.size();
+        network_.send(address_, from, std::move(wire));
+      });
+}
+
+}  // namespace soma::net

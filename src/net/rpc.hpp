@@ -1,0 +1,113 @@
+// Mochi/Margo-style RPC engine on top of the simulated fabric.
+//
+// An `Engine` is one RPC endpoint — in SOMA terms, one service rank or one
+// client stub. Servers `define` named handlers; clients `call` them with a
+// datamodel::Node argument and receive a Node response asynchronously.
+//
+// Service cost model: a server engine executes requests *serially* (one
+// Margo progress loop / one process). Each request costs
+//   base_cost + per_kib_cost * payload_KiB
+// of engine time; requests arriving while the engine is busy queue up. The
+// queueing delay is the mechanism by which an under-provisioned SOMA service
+// falls behind at high monitoring frequency (paper Fig. 11).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "datamodel/node.hpp"
+#include "net/network.hpp"
+
+namespace soma::net {
+
+/// Cost of ingesting one request at a server engine.
+///
+/// Payloads above `bulk_threshold` follow Mercury's bulk (RDMA) path: the
+/// receiver only registers the region and the NIC moves the bytes, so the
+/// per-KiB CPU charge drops to `bulk_per_kib` after a fixed registration
+/// cost. This mirrors how Mochi services absorb large TAU profiles without
+/// stalling their progress loop.
+struct ServiceCost {
+  Duration base = Duration::microseconds(25);
+  Duration per_kib = Duration::microseconds(3);
+
+  std::size_t bulk_threshold = 64 * 1024;
+  Duration bulk_registration = Duration::microseconds(40);
+  Duration bulk_per_kib = Duration::nanoseconds(250);
+
+  [[nodiscard]] bool is_bulk(std::size_t payload_bytes) const {
+    return payload_bytes >= bulk_threshold;
+  }
+
+  [[nodiscard]] Duration cost_for(std::size_t payload_bytes) const {
+    const double kib = static_cast<double>(payload_bytes) / 1024.0;
+    if (is_bulk(payload_bytes)) {
+      return base + bulk_registration + bulk_per_kib * kib;
+    }
+    return base + per_kib * kib;
+  }
+};
+
+/// Aggregate statistics for one engine (exposed to the overhead analysis).
+struct EngineStats {
+  std::uint64_t requests_handled = 0;
+  std::uint64_t bulk_transfers = 0;
+  std::uint64_t requests_sent = 0;
+  std::uint64_t responses_received = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  Duration total_queue_delay;
+  Duration max_queue_delay;
+  Duration total_service_time;
+  Duration busy_time() const { return total_service_time; }
+};
+
+class Engine {
+ public:
+  /// A server-side handler: caller address + request payload -> response.
+  using Handler = std::function<datamodel::Node(const Address& caller,
+                                                const datamodel::Node& args)>;
+  /// A client-side completion callback.
+  using ResponseCallback = std::function<void(datamodel::Node response)>;
+
+  Engine(Network& network, Address address, ServiceCost cost = {});
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] const Address& address() const { return address_; }
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  [[nodiscard]] Network& network() { return network_; }
+
+  /// Register a named RPC. Throws ConfigError on duplicate names.
+  void define(const std::string& rpc, Handler handler);
+
+  /// Invoke `rpc` at `dest`. `on_response` (optional) fires when the reply
+  /// arrives back at this engine. Fire-and-forget calls still receive and
+  /// count an acknowledgement, as Margo's forward/respond pair does.
+  void call(const Address& dest, const std::string& rpc, datamodel::Node args,
+            ResponseCallback on_response = nullptr);
+
+  /// Time at which this engine finishes its current backlog. Equal to now
+  /// when idle; used by tests and the saturation analysis.
+  [[nodiscard]] SimTime busy_until() const { return busy_until_; }
+
+ private:
+  void on_message(const Address& from, std::vector<std::byte> payload);
+  void handle_request(const Address& from, std::uint64_t request_id,
+                      const std::string& rpc, datamodel::Node args,
+                      std::size_t payload_bytes);
+
+  Network& network_;
+  Address address_;
+  ServiceCost cost_;
+  std::unordered_map<std::string, Handler> handlers_;
+  std::unordered_map<std::uint64_t, ResponseCallback> pending_;
+  std::uint64_t next_request_id_ = 1;
+  SimTime busy_until_{};
+  EngineStats stats_;
+};
+
+}  // namespace soma::net

@@ -1,0 +1,74 @@
+// TAU performance profiles and the TAU->SOMA plugin (paper §2.3.2,
+// "Performance Namespace", and §3.1 "Monitoring Setup").
+//
+// The real system samples the running application with tau_exec and a TAU
+// plugin converts the profile to a Conduit::Node and publishes it to SOMA.
+// Here the profile is synthesized from the workload model's per-rank MPI
+// breakdown, which is what TAU sampling would observe. The plugin adds the
+// hostname tag and task identifier the paper introduced for heterogeneous
+// workflows ("these additions allow properly attributing the TAU profile to
+// the correct workflow tasks").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datamodel/node.hpp"
+#include "rp/task.hpp"
+#include "soma/client.hpp"
+#include "workloads/openfoam.hpp"
+
+namespace soma::profiler {
+
+/// One rank's flat profile: function name -> inclusive seconds.
+struct RankProfile {
+  RankId rank = 0;
+  std::string hostname;
+  std::map<std::string, double> inclusive_seconds;
+
+  [[nodiscard]] double total_seconds() const;
+};
+
+/// A whole task's profile.
+struct TauProfile {
+  std::string task_uid;
+  std::vector<RankProfile> ranks;
+
+  /// Per-rank seconds spent in functions whose name starts with "MPI_".
+  [[nodiscard]] std::vector<double> mpi_seconds_per_rank() const;
+
+  /// Convert to the SOMA performance-namespace data model:
+  ///   <task_uid>/<hostname>/rank_<k>/<function> = seconds
+  [[nodiscard]] datamodel::Node to_node() const;
+
+  /// Parse back from the data model (used by analysis on the service side).
+  static TauProfile from_node(const std::string& task_uid,
+                              const datamodel::Node& node);
+};
+
+/// Synthesize the profile TAU sampling would produce for a completed
+/// OpenFOAM task: per-rank compute/MPI_Recv/MPI_Waitall/MPI_Allreduce times
+/// from the model's breakdown, with hostnames taken from the placement.
+TauProfile profile_openfoam_task(const rp::Task& task,
+                                 const workloads::OpenFoamModel& model,
+                                 const cluster::Platform& platform);
+
+/// The TAU plugin: wraps a SOMA client reserved for the performance
+/// namespace and publishes completed-task profiles.
+class TauSomaPlugin {
+ public:
+  explicit TauSomaPlugin(core::SomaClient& client) : client_(client) {}
+
+  /// Publish a profile; the source key is the task uid so all of one task's
+  /// data lands on the same service rank.
+  void publish(const TauProfile& profile);
+
+  [[nodiscard]] std::uint64_t profiles_published() const { return published_; }
+
+ private:
+  core::SomaClient& client_;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace soma::profiler

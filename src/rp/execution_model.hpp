@@ -1,0 +1,30 @@
+// Execution-time model interface.
+//
+// A TaskDescription can carry an ExecutionModel that determines how long the
+// task's ranks run given the placement they received (rank count, node
+// spread) — this is how workload behaviour (OpenFOAM strong scaling, DDMD
+// stage times) enters the simulation. Implementations live in
+// src/workloads/.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace soma::rp {
+
+struct TaskDescription;
+struct Placement;
+
+class ExecutionModel {
+ public:
+  virtual ~ExecutionModel() = default;
+
+  /// Sample the rank_start -> rank_stop duration for one execution of
+  /// `task` under `placement`. `rng` is a task-specific stream; models must
+  /// draw all randomness from it (determinism).
+  [[nodiscard]] virtual Duration sample_duration(
+      const TaskDescription& task, const Placement& placement,
+      Rng& rng) const = 0;
+};
+
+}  // namespace soma::rp

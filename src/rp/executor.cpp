@@ -1,0 +1,171 @@
+#include "rp/executor.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "rp/execution_model.hpp"
+
+namespace soma::rp {
+
+Executor::Executor(sim::Simulation& simulation, Rng rng, ExecutorConfig config)
+    : simulation_(simulation), rng_(rng), config_(config) {}
+
+void Executor::set_node_noise(NodeId node, double fraction) {
+  check(fraction >= 0.0, "node noise must be non-negative");
+  node_noise_[node] = fraction;
+}
+
+double Executor::node_noise(NodeId node) const {
+  const auto it = node_noise_.find(node);
+  return it == node_noise_.end() ? 0.0 : it->second;
+}
+
+double Executor::max_noise(const Placement& placement) const {
+  double noise = 0.0;
+  for (NodeId node : placement.nodes()) {
+    noise = std::max(noise, node_noise(node));
+  }
+  return noise;
+}
+
+Duration Executor::staging_time(double mib) const {
+  if (mib <= 0.0) return Duration::zero();
+  return config_.staging_latency +
+         Duration::seconds(mib / config_.staging_bandwidth_mib_per_s);
+}
+
+void Executor::launch(const std::shared_ptr<Task>& task) {
+  check(task != nullptr, "executor: null task");
+  check(task->placement().has_value(), "executor: task has no placement");
+  const TaskDescription& d = task->description();
+
+  task->advance(TaskState::kExecuting, simulation_.now());
+  running_.emplace(d.uid, task);
+
+  // Stage input files before the launcher runs (Fig. 1: "after staging
+  // files when required, tasks are queued...").
+  if (d.input_staging_mib > 0.0) {
+    task->record_event(events::kStageInStart, simulation_.now());
+    simulation_.schedule(staging_time(d.input_staging_mib), [this, task] {
+      task->record_event(events::kStageInStop, simulation_.now());
+      begin_launch(task);
+    });
+    return;
+  }
+  begin_launch(task);
+}
+
+void Executor::begin_launch(const std::shared_ptr<Task>& task) {
+  if (!running_.contains(task->uid())) return;  // cancelled during staging
+  const TaskDescription& d = task->description();
+  task->record_event(events::kLaunchStart, simulation_.now());
+
+  Rng task_rng = rng_.split(d.uid);
+  const Duration launch = Duration::seconds(task_rng.lognormal(
+      config_.launch_cost_median.to_seconds(), config_.launch_cost_sigma));
+
+  simulation_.schedule(launch, [this, task, task_rng]() mutable {
+    task->record_event(events::kExecStart, simulation_.now());
+    simulation_.schedule(config_.exec_prologue, [this, task,
+                                                 task_rng]() mutable {
+      task->record_event(events::kRankStart, simulation_.now());
+      if (on_start_) on_start_(task);
+      const TaskDescription& d = task->description();
+
+      if (d.kind != TaskKind::kApplication) {
+        // Service/monitor tasks run until stop(); nothing more to schedule.
+        return;
+      }
+
+      Duration duration = d.model
+                              ? d.model->sample_duration(
+                                    d, *task->placement(), task_rng)
+                              : d.fixed_duration;
+      duration = duration * (1.0 + max_noise(*task->placement()));
+
+      // Failure injection: a crashing task dies partway through.
+      if (d.failure_probability > 0.0 &&
+          task_rng.bernoulli(d.failure_probability)) {
+        const Duration until_crash = duration * task_rng.uniform(0.05, 0.95);
+        simulation_.schedule(until_crash, [this, task] {
+          fail(task, simulation_.now());
+        });
+        return;
+      }
+      simulation_.schedule(duration, [this, task] {
+        finish(task, simulation_.now());
+      });
+    });
+  });
+}
+
+void Executor::stop(const std::string& uid) {
+  const auto it = running_.find(uid);
+  if (it == running_.end()) return;
+  std::shared_ptr<Task> task = it->second;
+  // A task stopped before rank_start simply records the stop sequence now.
+  finish(task, simulation_.now());
+}
+
+void Executor::fail(const std::shared_ptr<Task>& task, SimTime at) {
+  const auto it = running_.find(task->uid());
+  if (it == running_.end()) return;
+  running_.erase(it);
+
+  // The launcher observes the crash: rank_stop/exec_stop are recorded at
+  // the abort, then the launcher tears down and RP marks the task FAILED.
+  task->record_event(events::kRankStop, at);
+  task->record_event(events::kExecStop, at);
+  const SimTime launch_stop = at + config_.launch_teardown;
+  simulation_.schedule_at(launch_stop, [this, task, launch_stop] {
+    task->record_event(events::kLaunchStop, launch_stop);
+    task->advance(TaskState::kFailed, launch_stop);
+    if (on_complete_) on_complete_(task);
+  });
+}
+
+void Executor::cancel(const std::string& uid) {
+  const auto it = running_.find(uid);
+  if (it == running_.end()) return;
+  std::shared_ptr<Task> task = it->second;
+  running_.erase(it);
+  const SimTime now = simulation_.now();
+  task->record_event(events::kRankStop, now);
+  task->record_event(events::kExecStop, now);
+  task->record_event(events::kLaunchStop, now);
+  task->advance(TaskState::kCanceled, now);
+  if (on_complete_) on_complete_(task);
+}
+
+void Executor::finish(const std::shared_ptr<Task>& task, SimTime rank_stop_at) {
+  const auto it = running_.find(task->uid());
+  if (it == running_.end()) return;  // stopped twice / already completed
+  running_.erase(it);
+
+  task->record_event(events::kRankStop, rank_stop_at);
+  const SimTime exec_stop = rank_stop_at + config_.exec_epilogue;
+  const SimTime launch_stop = exec_stop + config_.launch_teardown;
+
+  simulation_.schedule_at(exec_stop, [task, exec_stop] {
+    task->record_event(events::kExecStop, exec_stop);
+  });
+  simulation_.schedule_at(launch_stop, [this, task, launch_stop] {
+    task->record_event(events::kLaunchStop, launch_stop);
+    // Stage output files back to the shared filesystem, then finish.
+    const double out_mib = task->description().output_staging_mib;
+    if (out_mib > 0.0) {
+      task->record_event(events::kStageOutStart, simulation_.now());
+      simulation_.schedule(staging_time(out_mib), [this, task] {
+        task->record_event(events::kStageOutStop, simulation_.now());
+        task->advance(TaskState::kDone, simulation_.now());
+        if (on_complete_) on_complete_(task);
+      });
+      return;
+    }
+    task->advance(TaskState::kDone, launch_stop);
+    if (on_complete_) on_complete_(task);
+  });
+}
+
+}  // namespace soma::rp

@@ -1,0 +1,102 @@
+// Agent-side executor (paper Fig. 1, step 8).
+//
+// Takes a placed task, sets up its execution environment, launches it, and
+// emits the Listing-1 event sequence: launch_start, exec_start, rank_start,
+// rank_stop, exec_stop, launch_stop. Application task durations come from
+// the task's ExecutionModel; service and monitor tasks run until stopped.
+//
+// A per-node "noise factor" models interference from co-located monitoring
+// clients (OS jitter from frequent /proc scraping + RPC publishing): task
+// durations stretch by (1 + max noise over the task's nodes).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "rp/task.hpp"
+#include "sim/simulation.hpp"
+
+namespace soma::rp {
+
+struct ExecutorConfig {
+  /// launch_start -> exec_start: jsrun/launcher spawn cost (Listing 1 shows
+  /// ~0.36 s on Summit).
+  Duration launch_cost_median = Duration::milliseconds(360);
+  double launch_cost_sigma = 0.25;
+  /// exec_start -> rank_start: runtime init inside the task (~7 ms).
+  Duration exec_prologue = Duration::milliseconds(7);
+  /// rank_stop -> exec_stop (~8 ms).
+  Duration exec_epilogue = Duration::milliseconds(8);
+  /// exec_stop -> launch_stop: launcher teardown (~73 ms).
+  Duration launch_teardown = Duration::milliseconds(73);
+
+  /// Parallel-filesystem bandwidth seen by one task's staging (GPFS-class).
+  double staging_bandwidth_mib_per_s = 500.0;
+  /// Fixed metadata cost per staging phase.
+  Duration staging_latency = Duration::milliseconds(50);
+};
+
+class Executor {
+ public:
+  using CompletionCallback =
+      std::function<void(const std::shared_ptr<Task>&)>;
+  using StartCallback = std::function<void(const std::shared_ptr<Task>&)>;
+
+  Executor(sim::Simulation& simulation, Rng rng, ExecutorConfig config = {});
+
+  /// Fired at launch_stop for application tasks (DONE or FAILED), and when
+  /// a service / monitor task is stopped.
+  void set_on_complete(CompletionCallback callback) {
+    on_complete_ = std::move(callback);
+  }
+
+  /// Fired at rank_start for every task (services included) — the moment a
+  /// service task's RPC endpoints come alive.
+  void set_on_start(StartCallback callback) {
+    on_start_ = std::move(callback);
+  }
+
+  /// Launch a placed task. Application tasks complete on their own;
+  /// service/monitor tasks run until stop().
+  void launch(const std::shared_ptr<Task>& task);
+
+  /// Stop a long-running service/monitor task (paper §2.3.1: service tasks
+  /// are shut down through a control command once the workflow completes).
+  /// No-op if the task already finished or was never launched.
+  void stop(const std::string& uid);
+
+  /// Kill a running task (walltime expiry, user abort): the task ends in
+  /// CANCELED immediately, with rank_stop recorded at the kill. No-op if
+  /// the task is not running.
+  void cancel(const std::string& uid);
+
+  /// Interference from co-located monitoring on `node` (0 = none). The
+  /// session recomputes this when monitors are deployed or retuned.
+  void set_node_noise(NodeId node, double fraction);
+  [[nodiscard]] double node_noise(NodeId node) const;
+
+  [[nodiscard]] std::size_t running_count() const { return running_.size(); }
+  [[nodiscard]] bool is_running(const std::string& uid) const {
+    return running_.contains(uid);
+  }
+
+ private:
+  void begin_launch(const std::shared_ptr<Task>& task);
+  [[nodiscard]] Duration staging_time(double mib) const;
+  void finish(const std::shared_ptr<Task>& task, SimTime rank_stop_at);
+  void fail(const std::shared_ptr<Task>& task, SimTime at);
+  [[nodiscard]] double max_noise(const Placement& placement) const;
+
+  sim::Simulation& simulation_;
+  Rng rng_;
+  ExecutorConfig config_;
+  CompletionCallback on_complete_;
+  StartCallback on_start_;
+  std::unordered_map<std::string, std::shared_ptr<Task>> running_;
+  std::unordered_map<NodeId, double> node_noise_;
+};
+
+}  // namespace soma::rp

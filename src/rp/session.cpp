@@ -1,0 +1,216 @@
+#include "rp/session.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace soma::rp {
+
+Session::Session(SessionConfig config)
+    : config_(std::move(config)),
+      simulation_(),
+      rng_(config_.seed),
+      platform_(simulation_, config_.platform),
+      network_(simulation_, config_.network),
+      batch_(simulation_, config_.platform.nodes, rng_.split("batch"),
+             config_.batch) {
+  if (config_.pilot.nodes > config_.platform.nodes) {
+    throw ConfigError("pilot requests more nodes than the platform has");
+  }
+  if (config_.agent_nodes < 1 || config_.agent_nodes >= config_.pilot.nodes) {
+    throw ConfigError("agent_nodes must be in [1, pilot.nodes)");
+  }
+}
+
+void Session::start(std::function<void()> on_ready) {
+  check(!pilot_job_.has_value(), "session already started");
+  on_ready_ = std::move(on_ready);
+
+  profiles_.record(simulation_.now(), config_.pilot.uid,
+                   to_string(PilotState::kPmgrLaunching));
+  batch::JobRequest request;
+  request.nodes = config_.pilot.nodes;
+  request.walltime = config_.pilot.runtime;
+  request.name = config_.pilot.uid;
+  pilot_job_ = batch_.submit(
+      request,
+      [this](const batch::Allocation& allocation) {
+        bootstrap_agent(allocation);
+      },
+      [this](batch::JobId) {
+        SOMA_WARN() << "pilot hit walltime; finalizing session";
+        abort_running_tasks();
+        finalize();
+      });
+}
+
+void Session::bootstrap_agent(const batch::Allocation& allocation) {
+  pilot_nodes_ = allocation.nodes;
+  pilot_granted_ = simulation_.now();
+
+  // The RP agent machinery occupies a few cores on each agent node for the
+  // workflow's lifetime (client, agent components, ZMQ bridges).
+  for (NodeId node_id : agent_node_ids()) {
+    auto& node = platform_.node(node_id);
+    auto cores =
+        node.allocate_cores(config_.agent_cores, "rp.agent", /*activity=*/0.3);
+    check(cores.has_value(), "agent node cannot host the RP agent");
+    agent_core_claims_.push_back(std::move(*cores));
+    node.process_started();
+  }
+
+  scheduler_ = std::make_unique<AgentScheduler>(
+      simulation_, platform_, pilot_nodes_, rng_.split("scheduler"),
+      config_.scheduler);
+  scheduler_->set_agent_nodes(agent_node_ids());
+  executor_ = std::make_unique<Executor>(simulation_, rng_.split("executor"),
+                                         config_.executor);
+
+  scheduler_->set_on_placed([this](const std::shared_ptr<Task>& task) {
+    executor_->launch(task);
+  });
+  executor_->set_on_start([this](const std::shared_ptr<Task>& task) {
+    const auto listeners = start_listeners_;
+    for (const auto& listener : listeners) listener(task);
+  });
+  executor_->set_on_complete([this](const std::shared_ptr<Task>& task) {
+    scheduler_->task_completed(*task);
+    // Copy: a listener may register further listeners while we iterate.
+    const auto listeners = completion_listeners_;
+    for (const auto& listener : listeners) listener(task);
+  });
+
+  tmgr_to_agent_ = std::make_unique<comm::Channel<std::shared_ptr<Task>>>(
+      simulation_, "tmgr->agent", Duration::milliseconds(2));
+  tmgr_to_agent_->set_consumer([this](std::shared_ptr<Task> task) {
+    task->advance(TaskState::kAgentScheduling, simulation_.now());
+    scheduler_->submit(std::move(task));
+  });
+
+  // Bootstrap delay: the light-blue band of Fig. 8.
+  const Duration bootstrap = Duration::seconds(rng_.lognormal(
+      config_.bootstrap_median.to_seconds(), config_.bootstrap_sigma));
+  simulation_.schedule(bootstrap, [this] {
+    agent_ready_ = simulation_.now();
+    profiles_.record(simulation_.now(), config_.pilot.uid,
+                     to_string(PilotState::kActive));
+    if (on_ready_) on_ready_();
+  });
+}
+
+SimTime Session::agent_ready_at() const {
+  check(agent_ready_.has_value(), "agent not ready yet");
+  return *agent_ready_;
+}
+
+SimTime Session::pilot_granted_at() const {
+  check(pilot_granted_.has_value(), "pilot not granted yet");
+  return *pilot_granted_;
+}
+
+std::vector<NodeId> Session::agent_node_ids() const {
+  check(!pilot_nodes_.empty(), "pilot not granted yet");
+  return {pilot_nodes_.begin(),
+          pilot_nodes_.begin() + config_.agent_nodes};
+}
+
+std::vector<NodeId> Session::worker_node_ids() const {
+  check(!pilot_nodes_.empty(), "pilot not granted yet");
+  return {pilot_nodes_.begin() + config_.agent_nodes, pilot_nodes_.end()};
+}
+
+void Session::set_service_nodes(std::vector<NodeId> nodes, bool shared) {
+  scheduler().set_service_nodes(std::move(nodes), shared);
+}
+
+std::shared_ptr<Task> Session::submit(TaskDescription description) {
+  check(agent_ready(), "submit before the agent is ready");
+  if (description.uid.empty()) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "task.%06zu", tasks_.size());
+    description.uid = buffer;
+  }
+  if (find_task(description.uid) != nullptr) {
+    throw ConfigError("duplicate task uid: " + description.uid);
+  }
+
+  auto task = std::make_shared<Task>(std::move(description));
+  task->attach_profile(&profiles_);
+  tasks_.push_back(task);
+
+  task->advance(TaskState::kTmgrScheduling, simulation_.now());
+  simulation_.schedule(config_.tmgr_cost,
+                       [this, task] { tmgr_to_agent_->put(task); });
+  return task;
+}
+
+void Session::stop_task(const std::string& uid) {
+  executor().stop(uid);
+}
+
+void Session::add_task_completion_listener(
+    std::function<void(const std::shared_ptr<Task>&)> callback) {
+  completion_listeners_.push_back(std::move(callback));
+}
+
+void Session::add_task_start_listener(
+    std::function<void(const std::shared_ptr<Task>&)> callback) {
+  start_listeners_.push_back(std::move(callback));
+}
+
+std::shared_ptr<Task> Session::find_task(const std::string& uid) const {
+  const auto it =
+      std::find_if(tasks_.begin(), tasks_.end(),
+                   [&](const auto& t) { return t->uid() == uid; });
+  return it == tasks_.end() ? nullptr : *it;
+}
+
+AgentScheduler& Session::scheduler() {
+  check(scheduler_ != nullptr, "scheduler not created (pilot not granted)");
+  return *scheduler_;
+}
+
+Executor& Session::executor() {
+  check(executor_ != nullptr, "executor not created (pilot not granted)");
+  return *executor_;
+}
+
+void Session::abort_running_tasks() {
+  if (!executor_) return;
+  for (const auto& task : tasks_) {
+    if (!executor_->is_running(task->uid())) continue;
+    if (task->description().kind == TaskKind::kApplication) {
+      executor_->cancel(task->uid());
+    } else {
+      executor_->stop(task->uid());
+    }
+  }
+}
+
+void Session::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  // Stop long-running service/monitor tasks (paper §2.3.1: control command
+  // from RP at workflow completion).
+  if (executor_) {
+    for (const auto& task : tasks_) {
+      if (task->description().kind != TaskKind::kApplication &&
+          executor_->is_running(task->uid())) {
+        executor_->stop(task->uid());
+      }
+    }
+  }
+  if (pilot_job_) {
+    // Release the allocation once teardown events have drained.
+    simulation_.schedule(Duration::seconds(1.0), [this] {
+      profiles_.record(simulation_.now(), config_.pilot.uid,
+                       to_string(PilotState::kDone));
+      batch_.release(*pilot_job_);
+    });
+  }
+}
+
+SimTime Session::run() { return simulation_.run(); }
+
+}  // namespace soma::rp

@@ -1,0 +1,163 @@
+// Session: the top-level RP facade (paper Fig. 1 and Fig. 2).
+//
+// Owns the whole simulated deployment: platform, batch system, network, the
+// RP Client (PilotManager + TaskManager) and Agent (Scheduler + Executor).
+// The numbered execution process of Fig. 1 maps to:
+//   1   start(): PilotManager submits a pilot job to the batch system
+//   2   on grant, the Agent bootstraps; the Updater notifies the client
+//   3-6 submit(): TaskManager forwards tasks over component channels to the
+//       agent scheduler
+//   7   the agent scheduler claims slots (serial decision process)
+//   8   the executor launches the task and emits Listing-1 events
+//
+// SOMA integration points (paper §2.3.1) are first-class: service tasks are
+// scheduled before application tasks, run for the whole workflow, and are
+// shut down through stop_task(); `set_service_nodes` switches between the
+// shared and exclusive placement policies of §4.3.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "batch/batch.hpp"
+#include "cluster/platform.hpp"
+#include "comm/channel.hpp"
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "rp/executor.hpp"
+#include "rp/profile.hpp"
+#include "rp/scheduler.hpp"
+#include "rp/task.hpp"
+#include "sim/simulation.hpp"
+
+namespace soma::rp {
+
+struct SessionConfig {
+  cluster::PlatformConfig platform = cluster::summit(2);
+  PilotDescription pilot{.uid = "pilot.0000", .nodes = 2,
+                         .runtime = Duration::minutes(120)};
+  /// Head nodes of the allocation reserved for the RP client/agent (and the
+  /// co-located RP monitor client). Never used for application tasks.
+  int agent_nodes = 1;
+  /// Cores the RP agent machinery itself occupies on each agent node.
+  int agent_cores = 4;
+
+  SchedulerConfig scheduler{};
+  ExecutorConfig executor{};
+  batch::BatchConfig batch{};
+  net::NetworkConfig network{};
+
+  /// Agent bootstrap time (pilot grant -> ready to schedule). The light-blue
+  /// band of paper Fig. 8.
+  Duration bootstrap_median = Duration::seconds(20.0);
+  double bootstrap_sigma = 0.15;
+
+  /// Client-side TaskManager processing cost per task (queueing, staging).
+  Duration tmgr_cost = Duration::milliseconds(5);
+
+  std::uint64_t seed = 1;
+};
+
+class Session {
+ public:
+  explicit Session(SessionConfig config);
+
+  // ---- substrate access ----
+  [[nodiscard]] sim::Simulation& simulation() { return simulation_; }
+  [[nodiscard]] cluster::Platform& platform() { return platform_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] ProfileStore& profiles() { return profiles_; }
+  [[nodiscard]] const SessionConfig& config() const { return config_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  // ---- lifecycle ----
+  /// Submit the pilot job (Fig. 2 step 1). `on_ready` fires once the agent
+  /// has bootstrapped; experiments deploy the SOMA service + monitors there
+  /// before releasing application tasks.
+  void start(std::function<void()> on_ready);
+
+  [[nodiscard]] bool agent_ready() const { return agent_ready_.has_value(); }
+  [[nodiscard]] SimTime agent_ready_at() const;
+  [[nodiscard]] SimTime pilot_granted_at() const;
+
+  /// Nodes granted to the pilot, in grant order (agent nodes first).
+  [[nodiscard]] const std::vector<NodeId>& pilot_nodes() const {
+    return pilot_nodes_;
+  }
+  [[nodiscard]] std::vector<NodeId> agent_node_ids() const;
+  /// Nodes available to the agent scheduler (everything but agent nodes).
+  [[nodiscard]] std::vector<NodeId> worker_node_ids() const;
+
+  /// Mark `nodes` as reserved for services; `shared` selects whether app
+  /// tasks may use leftover capacity there (paper §4.3).
+  void set_service_nodes(std::vector<NodeId> nodes, bool shared);
+
+  // ---- tasks ----
+  /// Submit a task description (Fig. 1 steps 3-6). Requires agent_ready().
+  std::shared_ptr<Task> submit(TaskDescription description);
+  /// Stop a long-running service/monitor task.
+  void stop_task(const std::string& uid);
+
+  /// Register a completion listener (several subsystems listen: EnTK stage
+  /// barriers, the TAU plugin, experiment bookkeeping).
+  void add_task_completion_listener(
+      std::function<void(const std::shared_ptr<Task>&)> callback);
+
+  /// Register a start (rank_start) listener — used to detect when a service
+  /// task's endpoints come alive.
+  void add_task_start_listener(
+      std::function<void(const std::shared_ptr<Task>&)> callback);
+
+  [[nodiscard]] const std::vector<std::shared_ptr<Task>>& tasks() const {
+    return tasks_;
+  }
+  [[nodiscard]] std::shared_ptr<Task> find_task(const std::string& uid) const;
+
+  [[nodiscard]] AgentScheduler& scheduler();
+  [[nodiscard]] Executor& executor();
+
+  /// Shut down remaining service tasks and release the pilot allocation.
+  void finalize();
+
+  /// Kill every still-running task (the walltime-expiry path): application
+  /// tasks end CANCELED, services/monitors are stopped.
+  void abort_running_tasks();
+
+  /// Drive the event loop until it drains. Returns the final time.
+  SimTime run();
+
+ private:
+  void bootstrap_agent(const batch::Allocation& allocation);
+
+  SessionConfig config_;
+  sim::Simulation simulation_;
+  Rng rng_;
+  cluster::Platform platform_;
+  net::Network network_;
+  batch::BatchSystem batch_;
+  ProfileStore profiles_;
+
+  std::optional<batch::JobId> pilot_job_;
+  std::vector<NodeId> pilot_nodes_;
+  std::optional<SimTime> pilot_granted_;
+  std::optional<SimTime> agent_ready_;
+  std::function<void()> on_ready_;
+
+  // Created once the pilot is granted.
+  std::unique_ptr<AgentScheduler> scheduler_;
+  std::unique_ptr<Executor> executor_;
+  std::unique_ptr<comm::Channel<std::shared_ptr<Task>>> tmgr_to_agent_;
+
+  std::vector<std::shared_ptr<Task>> tasks_;
+  std::vector<std::function<void(const std::shared_ptr<Task>&)>>
+      completion_listeners_;
+  std::vector<std::function<void(const std::shared_ptr<Task>&)>>
+      start_listeners_;
+  std::vector<std::vector<CoreId>> agent_core_claims_;
+  bool finalized_ = false;
+};
+
+}  // namespace soma::rp

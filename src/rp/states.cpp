@@ -1,0 +1,49 @@
+#include "rp/states.hpp"
+
+namespace soma::rp {
+
+std::string_view to_string(TaskState state) {
+  switch (state) {
+    case TaskState::kNew: return "NEW";
+    case TaskState::kTmgrScheduling: return "TMGR_SCHEDULING";
+    case TaskState::kAgentScheduling: return "AGENT_SCHEDULING";
+    case TaskState::kExecuting: return "EXECUTING";
+    case TaskState::kDone: return "DONE";
+    case TaskState::kFailed: return "FAILED";
+    case TaskState::kCanceled: return "CANCELED";
+  }
+  return "?";
+}
+
+std::string_view to_string(PilotState state) {
+  switch (state) {
+    case PilotState::kNew: return "NEW";
+    case PilotState::kPmgrLaunching: return "PMGR_LAUNCHING";
+    case PilotState::kActive: return "ACTIVE";
+    case PilotState::kDone: return "DONE";
+    case PilotState::kFailed: return "FAILED";
+  }
+  return "?";
+}
+
+bool is_valid_transition(TaskState from, TaskState to) {
+  if (is_final(from)) return false;
+  switch (to) {
+    case TaskState::kNew:
+      return false;
+    case TaskState::kTmgrScheduling:
+      return from == TaskState::kNew;
+    case TaskState::kAgentScheduling:
+      return from == TaskState::kTmgrScheduling;
+    case TaskState::kExecuting:
+      return from == TaskState::kAgentScheduling;
+    case TaskState::kDone:
+    case TaskState::kFailed:
+      return from == TaskState::kExecuting;
+    case TaskState::kCanceled:
+      return true;  // cancellation is legal from any non-final state
+  }
+  return false;
+}
+
+}  // namespace soma::rp

@@ -1,0 +1,62 @@
+// RADICAL-Pilot state machine (paper §2.3.2, "Workflow Namespace").
+//
+// RP components function as state machines; a task proceeds NEW ->
+// TMGR_SCHEDULING -> AGENT_SCHEDULING -> EXECUTING -> DONE/FAILED, and the
+// EXECUTING state is refined by timestamped events (Listing 1):
+// launch_start, exec_start, rank_start, rank_stop, exec_stop, launch_stop.
+#pragma once
+
+#include <string_view>
+
+namespace soma::rp {
+
+enum class TaskState {
+  kNew,
+  kTmgrScheduling,   ///< queued at the client TaskManager/Scheduler
+  kAgentScheduling,  ///< waiting for / receiving an agent placement
+  kExecuting,
+  kDone,
+  kFailed,
+  kCanceled,
+};
+
+enum class PilotState {
+  kNew,
+  kPmgrLaunching,  ///< queued at the platform batch system
+  kActive,         ///< agent bootstrapped, executing tasks
+  kDone,
+  kFailed,
+};
+
+[[nodiscard]] std::string_view to_string(TaskState state);
+[[nodiscard]] std::string_view to_string(PilotState state);
+
+/// True for states a task can never leave.
+[[nodiscard]] constexpr bool is_final(TaskState state) {
+  return state == TaskState::kDone || state == TaskState::kFailed ||
+         state == TaskState::kCanceled;
+}
+
+/// Legal forward transitions (used to assert state-machine integrity).
+[[nodiscard]] bool is_valid_transition(TaskState from, TaskState to);
+
+/// Event names recorded within the EXECUTING state, in order (Listing 1).
+namespace events {
+inline constexpr std::string_view kLaunchStart = "launch_start";
+inline constexpr std::string_view kExecStart = "exec_start";
+inline constexpr std::string_view kRankStart = "rank_start";
+inline constexpr std::string_view kRankStop = "rank_stop";
+inline constexpr std::string_view kExecStop = "exec_stop";
+inline constexpr std::string_view kLaunchStop = "launch_stop";
+// State-entry events recorded by the components.
+inline constexpr std::string_view kScheduleStart = "schedule_start";
+inline constexpr std::string_view kSlotsClaimed = "slots_claimed";
+inline constexpr std::string_view kScheduleOk = "schedule_ok";
+// Data-staging events (Fig. 1: "after staging files when required").
+inline constexpr std::string_view kStageInStart = "stage_in_start";
+inline constexpr std::string_view kStageInStop = "stage_in_stop";
+inline constexpr std::string_view kStageOutStart = "stage_out_start";
+inline constexpr std::string_view kStageOutStop = "stage_out_stop";
+}  // namespace events
+
+}  // namespace soma::rp

@@ -1,0 +1,91 @@
+#include "sim/simulation.hpp"
+
+namespace soma::sim {
+
+void EventHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+EventHandle Simulation::schedule(Duration delay, Callback fn) {
+  check(delay >= Duration::zero(), "cannot schedule into the past");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulation::schedule_at(SimTime when, Callback fn) {
+  check(when >= now_, "cannot schedule into the past");
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  return EventHandle{std::move(cancelled)};
+}
+
+void Simulation::dispatch_front() {
+  // priority_queue::top() is const; move out via const_cast, which is safe
+  // because the element is popped immediately after.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  if (*event.cancelled) return;
+  now_ = event.when;
+  ++dispatched_;
+  event.fn();
+}
+
+bool Simulation::step() {
+  while (!queue_.empty() && *queue_.top().cancelled) queue_.pop();
+  if (queue_.empty()) return false;
+  dispatch_front();
+  return true;
+}
+
+SimTime Simulation::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+SimTime Simulation::run_until(SimTime until) {
+  while (true) {
+    while (!queue_.empty() && *queue_.top().cancelled) queue_.pop();
+    if (queue_.empty()) return now_;
+    if (queue_.top().when > until) {
+      now_ = until;
+      return now_;
+    }
+    dispatch_front();
+  }
+}
+
+PeriodicTask::PeriodicTask(Simulation& simulation, Duration period, Tick tick)
+    : simulation_(simulation),
+      period_(period),
+      tick_(std::move(tick)),
+      alive_(std::make_shared<bool>(true)) {
+  check(period_ > Duration::zero(), "periodic task period must be positive");
+}
+
+PeriodicTask::~PeriodicTask() {
+  *alive_ = false;
+  stop();
+}
+
+void PeriodicTask::start(Duration initial_delay) {
+  if (running_) return;
+  running_ = true;
+  arm(initial_delay);
+}
+
+void PeriodicTask::stop() {
+  running_ = false;
+  pending_.cancel();
+}
+
+void PeriodicTask::arm(Duration delay) {
+  // The lambda captures `alive_` by value so that a PeriodicTask destroyed
+  // mid-simulation never has its members touched by a stale event.
+  pending_ = simulation_.schedule(delay, [this, alive = alive_] {
+    if (!*alive || !running_) return;
+    tick_();
+    if (*alive && running_) arm(period_);
+  });
+}
+
+}  // namespace soma::sim

@@ -1,0 +1,132 @@
+// Discrete-event simulation engine.
+//
+// Every subsystem in this repository (network, batch system, RP components,
+// SOMA service, monitoring clients) is driven by one `Simulation` event
+// queue. Events scheduled for the same instant are dispatched in scheduling
+// order (a monotonically increasing sequence number breaks ties), which makes
+// whole-workflow runs bit-for-bit reproducible for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace soma::sim {
+
+/// Handle to a scheduled event; allows cancellation (e.g. a periodic monitor
+/// being shut down at workflow completion).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Safe to call repeatedly and
+  /// after the event has fired (no-op).
+  void cancel();
+
+  [[nodiscard]] bool valid() const { return cancelled_ != nullptr; }
+
+ private:
+  friend class Simulation;
+  explicit EventHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+/// The event loop and simulated clock.
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time. Only advances inside run()/run_until().
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` after the current time.
+  EventHandle schedule(Duration delay, Callback fn);
+
+  /// Schedule `fn` at an absolute time (must not be in the past).
+  EventHandle schedule_at(SimTime when, Callback fn);
+
+  /// Run until the queue drains. Returns the time of the last event.
+  SimTime run();
+
+  /// Run until the queue drains or the clock passes `until`, whichever comes
+  /// first. Events scheduled exactly at `until` are executed.
+  SimTime run_until(SimTime until);
+
+  /// Execute at most one pending event. Returns false if the queue is empty.
+  bool step();
+
+  /// Number of events dispatched so far (diagnostics/tests).
+  [[nodiscard]] std::uint64_t events_dispatched() const {
+    return dispatched_;
+  }
+
+  /// Number of events currently pending (cancelled events are counted until
+  /// they are lazily discarded).
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pop and execute the front event. Precondition: queue not empty.
+  void dispatch_front();
+
+  SimTime now_{};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// Convenience owner for repeating activities: reschedules itself every
+/// `period` until stop() is called. Used by the monitoring clients.
+class PeriodicTask {
+ public:
+  using Tick = std::function<void()>;
+
+  PeriodicTask(Simulation& simulation, Duration period, Tick tick);
+  ~PeriodicTask();
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Begin ticking; the first tick fires after `initial_delay`.
+  void start(Duration initial_delay = Duration::zero());
+
+  /// Stop ticking. Safe to call repeatedly.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] Duration period() const { return period_; }
+  void set_period(Duration period) { period_ = period; }
+
+ private:
+  void arm(Duration delay);
+
+  Simulation& simulation_;
+  Duration period_;
+  Tick tick_;
+  bool running_ = false;
+  EventHandle pending_;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace soma::sim

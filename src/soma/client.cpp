@@ -1,0 +1,69 @@
+#include "soma/client.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace soma::core {
+namespace {
+
+std::size_t hash_source(const std::string& source) {
+  // FNV-1a: stable across runs and platforms (std::hash is not).
+  std::size_t h = 1469598103934665603ULL;
+  for (unsigned char c : source) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+SomaClient::SomaClient(net::Network& network, NodeId node, int port,
+                       Namespace ns, std::vector<net::Address> instance_ranks)
+    : network_(network), ns_(ns), instance_ranks_(std::move(instance_ranks)) {
+  check(!instance_ranks_.empty(), "SOMA client needs >= 1 service rank");
+  // The client stub handles only tiny acks; give it a near-zero cost model.
+  net::ServiceCost stub_cost;
+  stub_cost.base = Duration::microseconds(1);
+  stub_cost.per_kib = Duration::nanoseconds(100);
+  engine_ = std::make_unique<net::Engine>(
+      network_, net::make_address(node, port), stub_cost);
+}
+
+const net::Address& SomaClient::rank_for(const std::string& source) const {
+  return instance_ranks_[hash_source(source) % instance_ranks_.size()];
+}
+
+void SomaClient::publish(const std::string& source, datamodel::Node data,
+                         std::function<void()> on_ack) {
+  datamodel::Node args;
+  args["ns"].set(std::string(to_string(ns_)));
+  args["source"].set(source);
+  args["data"] = std::move(data);
+
+  ++stats_.published;
+  const SimTime sent_at = network_.simulation().now();
+  engine_->call(rank_for(source), "soma.publish", std::move(args),
+                [this, sent_at, on_ack = std::move(on_ack)](
+                    const datamodel::Node& /*reply*/) {
+                  ++stats_.acked;
+                  const Duration latency =
+                      network_.simulation().now() - sent_at;
+                  stats_.total_ack_latency += latency;
+                  stats_.max_ack_latency =
+                      std::max(stats_.max_ack_latency, latency);
+                  if (on_ack) on_ack();
+                });
+}
+
+void SomaClient::query(datamodel::Node request,
+                       std::function<void(datamodel::Node)> on_reply) {
+  check(on_reply != nullptr, "query requires a reply callback");
+  // Queries go to the instance's first rank; query volume is negligible
+  // next to publish volume.
+  engine_->call(instance_ranks_.front(), "soma.query", std::move(request),
+                std::move(on_reply));
+}
+
+}  // namespace soma::core

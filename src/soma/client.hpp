@@ -1,0 +1,72 @@
+// SOMA client stub (paper §2.2.1).
+//
+// The client stub runs inside the address space of the component being
+// instrumented (a monitor daemon, the TAU plugin, or an application task).
+// It owns a small RPC engine bound at the host node and translates the
+// monitoring API into RPCs against the namespace instance it was given.
+// Records from one source always go to the same service rank (hash
+// affinity) so per-source time series stay ordered.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "datamodel/node.hpp"
+#include "net/rpc.hpp"
+#include "soma/namespaces.hpp"
+
+namespace soma::core {
+
+class SomaClient {
+ public:
+  /// Statistics a client keeps about its own publishing behaviour; the
+  /// scaling experiments read the ack latency to check SOMA "keeps pace".
+  struct ClientStats {
+    std::uint64_t published = 0;
+    std::uint64_t acked = 0;
+    Duration total_ack_latency;
+    Duration max_ack_latency;
+
+    [[nodiscard]] Duration mean_ack_latency() const {
+      return acked == 0 ? Duration::zero() : total_ack_latency / double(acked);
+    }
+  };
+
+  /// `node` is where the instrumented component runs; `instance_ranks` are
+  /// the service addresses of the target namespace instance; `port` must be
+  /// unique per client on that node.
+  SomaClient(net::Network& network, NodeId node, int port, Namespace ns,
+             std::vector<net::Address> instance_ranks);
+
+  [[nodiscard]] Namespace target_namespace() const { return ns_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] const net::Address& address() const {
+    return engine_->address();
+  }
+  [[nodiscard]] const ClientStats& stats() const { return stats_; }
+
+  /// Publish `data` under `source` (hostname, task uid, ...). `on_ack`
+  /// (optional) fires when the service acknowledges.
+  void publish(const std::string& source, datamodel::Node data,
+               std::function<void()> on_ack = nullptr);
+
+  /// Query the service (kind = "latest" / "sources" / "stats"; see
+  /// SomaService). The reply arrives asynchronously.
+  void query(datamodel::Node request,
+             std::function<void(datamodel::Node)> on_reply);
+
+ private:
+  [[nodiscard]] const net::Address& rank_for(const std::string& source) const;
+
+  net::Network& network_;
+  Namespace ns_;
+  std::vector<net::Address> instance_ranks_;
+  std::unique_ptr<net::Engine> engine_;
+  ClientStats stats_;
+};
+
+}  // namespace soma::core

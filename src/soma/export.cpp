@@ -1,0 +1,73 @@
+#include "soma/export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace soma::core {
+
+std::size_t export_store(const DataStore& store, std::ostream& out) {
+  std::size_t lines = 0;
+  for (Namespace ns : kAllNamespaces) {
+    for (const std::string& source : store.sources(ns)) {
+      for (const TimedRecord& record : store.series(ns, source)) {
+        datamodel::Node line;
+        line["ns"].set(std::string(to_string(ns)));
+        line["source"].set(source);
+        line["t"].set(record.time.nanos());
+        line["data"] = record.data;
+        out << line.to_json() << '\n';
+        ++lines;
+      }
+    }
+  }
+  return lines;
+}
+
+std::size_t export_store_to_file(const DataStore& store,
+                                 const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw ConfigError("export_store: cannot open " + path);
+  return export_store(store, out);
+}
+
+bool parse_export_line(const std::string& line, ExportedRecord& record) {
+  if (line.empty()) return false;
+  const datamodel::Node parsed = datamodel::Node::parse_json(line);
+  record.ns = parse_namespace(parsed.fetch_existing("ns").as_string());
+  record.source = parsed.fetch_existing("source").as_string();
+  record.time = SimTime{parsed.fetch_existing("t").as_int64()};
+  if (const auto* data = parsed.find_child("data")) {
+    record.data = *data;
+  } else {
+    record.data.reset();
+  }
+  return true;
+}
+
+std::size_t import_store(DataStore& store, std::istream& in) {
+  std::size_t loaded = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    // A truncated final line (no closing brace) is tolerated: it is the
+    // expected state of a file whose writer died mid-record.
+    if (!in.eof() || (!line.empty() && line.back() == '}')) {
+      ExportedRecord record;
+      if (!parse_export_line(line, record)) continue;
+      store.append(record.ns, record.source, record.time,
+                   std::move(record.data));
+      ++loaded;
+    }
+  }
+  return loaded;
+}
+
+std::size_t import_store_from_file(DataStore& store,
+                                   const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("import_store: cannot open " + path);
+  return import_store(store, in);
+}
+
+}  // namespace soma::core

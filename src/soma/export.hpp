@@ -1,0 +1,44 @@
+// Store export / import.
+//
+// SOMA's in-memory store can be flushed to a JSON-lines file (one record per
+// line: namespace, source, timestamp, payload) for post-mortem analysis or
+// transfer to another tool, and loaded back. The format is line-oriented so
+// it can be tailed/streamed and survives truncation of the final line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "soma/store.hpp"
+
+namespace soma::core {
+
+/// Serialize every record of `store` to `out`, one JSON object per line:
+///   {"ns":"hardware","source":"cn0001","t":123456789,"data":{...}}
+/// Records are written namespace-major, source-major, time-ascending.
+/// Returns the number of lines written.
+std::size_t export_store(const DataStore& store, std::ostream& out);
+
+/// Convenience: export to a file path. Throws ConfigError when the file
+/// cannot be opened.
+std::size_t export_store_to_file(const DataStore& store,
+                                 const std::string& path);
+
+/// Parse one exported line back into (namespace, source, time, data).
+/// Returns false on a blank line; throws LookupError on malformed input.
+struct ExportedRecord {
+  Namespace ns = Namespace::kWorkflow;
+  std::string source;
+  SimTime time;
+  datamodel::Node data;
+};
+bool parse_export_line(const std::string& line, ExportedRecord& record);
+
+/// Load an exported stream into a store (appending). Returns the number of
+/// records loaded. Malformed lines throw LookupError; a truncated final
+/// line is skipped silently.
+std::size_t import_store(DataStore& store, std::istream& in);
+
+std::size_t import_store_from_file(DataStore& store, const std::string& path);
+
+}  // namespace soma::core

@@ -1,0 +1,154 @@
+#include "soma/service.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace soma::core {
+
+SomaService::SomaService(net::Network& network, std::vector<NodeId> nodes,
+                         ServiceConfig config)
+    : network_(network), config_(std::move(config)) {
+  if (nodes.empty()) throw ConfigError("SOMA service needs at least one node");
+  if (config_.ranks_per_namespace <= 0) {
+    throw ConfigError("ranks_per_namespace must be > 0");
+  }
+  if (config_.namespaces.empty()) {
+    throw ConfigError("SOMA service needs >= 1 namespace");
+  }
+
+  // Create the rank engines, spreading ranks round-robin across the service
+  // nodes, and partition them into namespace instances.
+  int rank_index = 0;
+  for (Namespace ns : config_.namespaces) {
+    InstanceInfo info;
+    info.ns = ns;
+    for (int r = 0; r < config_.ranks_per_namespace; ++r, ++rank_index) {
+      const NodeId node = nodes[static_cast<std::size_t>(rank_index) %
+                                nodes.size()];
+      net::Address address =
+          net::make_address(node, config_.base_port + rank_index);
+      auto engine =
+          std::make_unique<net::Engine>(network_, address, config_.cost);
+      define_rpcs(*engine);
+      info.ranks.push_back(std::move(address));
+      engines_.push_back(std::move(engine));
+    }
+    instances_.push_back(std::move(info));
+  }
+}
+
+const InstanceInfo& SomaService::instance(Namespace ns) const {
+  for (const auto& info : instances_) {
+    if (info.ns == ns) return info;
+  }
+  throw ConfigError("SOMA service has no instance for namespace " +
+                    std::string(to_string(ns)));
+}
+
+void SomaService::define_rpcs(net::Engine& engine) {
+  engine.define("soma.publish", [this](const net::Address& /*caller*/,
+                                       const datamodel::Node& args) {
+    const Namespace ns =
+        parse_namespace(args.fetch_existing("ns").as_string());
+    const std::string& source = args.fetch_existing("source").as_string();
+    datamodel::Node data;
+    if (const auto* payload = args.find_child("data")) data = *payload;
+    ++publishes_received_;
+    store_.append(ns, source, network_.simulation().now(), std::move(data));
+
+    datamodel::Node ack;
+    ack["status"].set("ok");
+    return ack;
+  });
+
+  engine.define("soma.query", [this](const net::Address& /*caller*/,
+                                     const datamodel::Node& args) {
+    datamodel::Node reply;
+    const std::string& kind = args.fetch_existing("kind").as_string();
+    if (kind == "latest") {
+      const Namespace ns =
+          parse_namespace(args.fetch_existing("ns").as_string());
+      const std::string& source = args.fetch_existing("source").as_string();
+      if (const TimedRecord* record = store_.latest(ns, source)) {
+        reply["time"].set(record->time.nanos());
+        reply["data"] = record->data;
+      } else {
+        reply["error"].set("no records for source: " + source);
+      }
+    } else if (kind == "sources") {
+      const Namespace ns =
+          parse_namespace(args.fetch_existing("ns").as_string());
+      datamodel::Node& list = reply["sources"];
+      for (const std::string& source : store_.sources(ns)) {
+        list[source].set(static_cast<std::int64_t>(
+            store_.series(ns, source).size()));
+      }
+    } else if (kind == "stats") {
+      for (Namespace ns : config_.namespaces) {
+        datamodel::Node& entry = reply[std::string(to_string(ns))];
+        entry["records"].set(
+            static_cast<std::int64_t>(store_.record_count(ns)));
+        entry["bytes"].set(
+            static_cast<std::int64_t>(store_.ingested_bytes(ns)));
+      }
+    } else if (kind == "analyze") {
+      // In-situ analysis: run a registered analyzer against the store and
+      // return the result — the data never leaves the service.
+      const std::string& name = args.fetch_existing("analyzer").as_string();
+      const auto it = analyzers_.find(name);
+      if (it == analyzers_.end()) {
+        reply["error"].set("unknown analyzer: " + name);
+      } else {
+        reply["result"] = it->second(store_);
+      }
+    } else {
+      reply["error"].set("unknown query kind: " + kind);
+    }
+    return reply;
+  });
+}
+
+void SomaService::register_analyzer(const std::string& name,
+                                    Analyzer analyzer) {
+  if (!analyzer) throw ConfigError("analyzer must be callable");
+  const auto [it, inserted] = analyzers_.emplace(name, std::move(analyzer));
+  (void)it;
+  if (!inserted) throw ConfigError("analyzer already registered: " + name);
+}
+
+std::vector<std::string> SomaService::analyzer_names() const {
+  std::vector<std::string> names;
+  names.reserve(analyzers_.size());
+  for (const auto& [name, analyzer] : analyzers_) names.push_back(name);
+  return names;
+}
+
+net::EngineStats SomaService::instance_stats(Namespace ns) const {
+  net::EngineStats total;
+  const InstanceInfo& info = instance(ns);
+  for (const auto& engine : engines_) {
+    if (std::find(info.ranks.begin(), info.ranks.end(), engine->address()) ==
+        info.ranks.end()) {
+      continue;
+    }
+    const net::EngineStats& s = engine->stats();
+    total.requests_handled += s.requests_handled;
+    total.bytes_in += s.bytes_in;
+    total.bytes_out += s.bytes_out;
+    total.total_queue_delay += s.total_queue_delay;
+    total.max_queue_delay = std::max(total.max_queue_delay, s.max_queue_delay);
+    total.total_service_time += s.total_service_time;
+  }
+  return total;
+}
+
+Duration SomaService::max_queue_delay() const {
+  Duration worst;
+  for (const auto& engine : engines_) {
+    worst = std::max(worst, engine->stats().max_queue_delay);
+  }
+  return worst;
+}
+
+}  // namespace soma::core

@@ -1,0 +1,72 @@
+#include "soma/store.hpp"
+
+#include <algorithm>
+
+namespace soma::core {
+
+const std::vector<TimedRecord> DataStore::kEmptySeries{};
+
+const DataStore::InstanceStore& DataStore::instance(Namespace ns) const {
+  return instances_[static_cast<std::size_t>(ns)];
+}
+
+DataStore::InstanceStore& DataStore::instance(Namespace ns) {
+  return instances_[static_cast<std::size_t>(ns)];
+}
+
+void DataStore::append(Namespace ns, const std::string& source, SimTime time,
+                       datamodel::Node data) {
+  InstanceStore& store = instance(ns);
+  store.bytes += data.packed_size();
+  ++store.records;
+  store.by_source[source].push_back(TimedRecord{time, std::move(data)});
+}
+
+const TimedRecord* DataStore::latest(Namespace ns,
+                                     const std::string& source) const {
+  const auto& series = this->series(ns, source);
+  return series.empty() ? nullptr : &series.back();
+}
+
+const std::vector<TimedRecord>& DataStore::series(
+    Namespace ns, const std::string& source) const {
+  const auto& by_source = instance(ns).by_source;
+  const auto it = by_source.find(source);
+  return it == by_source.end() ? kEmptySeries : it->second;
+}
+
+std::vector<const TimedRecord*> DataStore::range(Namespace ns,
+                                                 const std::string& source,
+                                                 SimTime from,
+                                                 SimTime to) const {
+  std::vector<const TimedRecord*> out;
+  for (const auto& record : series(ns, source)) {
+    if (record.time >= from && record.time <= to) out.push_back(&record);
+  }
+  return out;
+}
+
+std::vector<std::string> DataStore::sources(Namespace ns) const {
+  std::vector<std::string> out;
+  out.reserve(instance(ns).by_source.size());
+  for (const auto& [source, series] : instance(ns).by_source) {
+    out.push_back(source);
+  }
+  return out;  // std::map iteration is already sorted
+}
+
+std::uint64_t DataStore::record_count(Namespace ns) const {
+  return instance(ns).records;
+}
+
+std::uint64_t DataStore::total_records() const {
+  std::uint64_t total = 0;
+  for (Namespace ns : kAllNamespaces) total += record_count(ns);
+  return total;
+}
+
+std::uint64_t DataStore::ingested_bytes(Namespace ns) const {
+  return instance(ns).bytes;
+}
+
+}  // namespace soma::core

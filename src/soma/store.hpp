@@ -1,0 +1,66 @@
+// SOMA service-side data store.
+//
+// Each namespace instance keeps the published records as per-source time
+// series of datamodel Nodes. The store is the substrate for all online
+// analysis: "latest snapshot of host X", "all workflow summaries in the last
+// N seconds", "per-task TAU profiles".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "datamodel/node.hpp"
+#include "soma/namespaces.hpp"
+
+namespace soma::core {
+
+struct TimedRecord {
+  SimTime time;           ///< service-side ingest time
+  datamodel::Node data;   ///< published payload
+};
+
+class DataStore {
+ public:
+  /// Append a record published by `source` (hostname, task uid, ...).
+  void append(Namespace ns, const std::string& source, SimTime time,
+              datamodel::Node data);
+
+  /// Most recent record from `source`, if any.
+  [[nodiscard]] const TimedRecord* latest(Namespace ns,
+                                          const std::string& source) const;
+
+  /// Full series for one source (empty if unknown).
+  [[nodiscard]] const std::vector<TimedRecord>& series(
+      Namespace ns, const std::string& source) const;
+
+  /// Records from `source` with time in [from, to].
+  [[nodiscard]] std::vector<const TimedRecord*> range(
+      Namespace ns, const std::string& source, SimTime from, SimTime to) const;
+
+  /// All sources seen in a namespace, sorted.
+  [[nodiscard]] std::vector<std::string> sources(Namespace ns) const;
+
+  [[nodiscard]] std::uint64_t record_count(Namespace ns) const;
+  [[nodiscard]] std::uint64_t total_records() const;
+  /// Total packed bytes ingested per namespace (capacity planning).
+  [[nodiscard]] std::uint64_t ingested_bytes(Namespace ns) const;
+
+ private:
+  struct InstanceStore {
+    std::map<std::string, std::vector<TimedRecord>> by_source;
+    std::uint64_t records = 0;
+    std::uint64_t bytes = 0;
+  };
+  [[nodiscard]] const InstanceStore& instance(Namespace ns) const;
+  [[nodiscard]] InstanceStore& instance(Namespace ns);
+
+  std::array<InstanceStore, kAllNamespaces.size()> instances_;
+  static const std::vector<TimedRecord> kEmptySeries;
+};
+
+}  // namespace soma::core

@@ -1,0 +1,101 @@
+#include "workloads/ddmd.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace soma::workloads {
+
+std::string_view to_string(DdmdStage stage) {
+  switch (stage) {
+    case DdmdStage::kSimulation: return "sim";
+    case DdmdStage::kTraining: return "train";
+    case DdmdStage::kSelection: return "select";
+    case DdmdStage::kAgent: return "agent";
+  }
+  return "?";
+}
+
+DdmdStageModel::DdmdStageModel(DdmdStage stage, DdmdParams params,
+                               int train_tasks)
+    : stage_(stage), params_(params), train_tasks_(std::max(1, train_tasks)) {}
+
+double DdmdStageModel::ideal_seconds(int cores_per_rank) const {
+  const int cores = std::max(1, cores_per_rank);
+  // GPU stages: mild penalty for fewer host cores (7 cores = reference).
+  const double core_penalty =
+      1.0 + params_.cpu_core_sensitivity *
+                (static_cast<double>(7 - std::min(7, cores)) / 6.0);
+  switch (stage_) {
+    case DdmdStage::kSimulation:
+      return params_.sim_seconds * core_penalty;
+    case DdmdStage::kTraining: {
+      // Work divides across parallel training tasks; each extra task adds a
+      // reduce/synchronization surcharge.
+      const double t = static_cast<double>(train_tasks_);
+      const double sync = 1.0 + params_.train_sync_fraction * (t - 1.0);
+      return params_.train_seconds / t * sync * core_penalty;
+    }
+    case DdmdStage::kSelection: {
+      // CPU-bound: scales with cores, saturating.
+      const double speedup = std::min(4.0, 1.0 + 0.5 * (cores - 1));
+      return params_.selection_seconds / speedup;
+    }
+    case DdmdStage::kAgent:
+      return params_.agent_seconds * core_penalty;
+  }
+  return 0.0;
+}
+
+Duration DdmdStageModel::sample_duration(const rp::TaskDescription& task,
+                                         const rp::Placement& /*placement*/,
+                                         Rng& rng) const {
+  const double base = ideal_seconds(task.cores_per_rank);
+  return Duration::seconds(rng.lognormal(base, params_.noise_sigma));
+}
+
+std::vector<rp::TaskDescription> make_ddmd_stage_tasks(
+    const DdmdStageSpec& spec, const DdmdParams& params, int pipeline,
+    int phase, int train_tasks_in_phase) {
+  check(spec.tasks > 0, "ddmd stage needs >= 1 task");
+  auto model = std::make_shared<const DdmdStageModel>(
+      spec.stage, params,
+      spec.stage == DdmdStage::kTraining ? train_tasks_in_phase : 1);
+
+  const bool gpu_stage = spec.gpus_per_task > 0;
+  std::vector<rp::TaskDescription> tasks;
+  tasks.reserve(static_cast<std::size_t>(spec.tasks));
+  for (int i = 0; i < spec.tasks; ++i) {
+    rp::TaskDescription d;
+    char uid[64];
+    std::snprintf(uid, sizeof(uid), "p%03d.ph%d.%s.%02d", pipeline, phase,
+                  std::string(to_string(spec.stage)).c_str(), i);
+    d.uid = uid;
+    d.label = "ddmd-" + std::string(to_string(spec.stage));
+    d.ranks = 1;
+    d.cores_per_rank = spec.cores_per_task;
+    d.gpus_per_rank = spec.gpus_per_task;
+    d.cpu_activity =
+        gpu_stage ? params.gpu_stage_cpu_activity : params.cpu_stage_activity;
+    d.model = model;
+    tasks.push_back(std::move(d));
+  }
+  return tasks;
+}
+
+std::vector<DdmdStageSpec> ddmd_phase_stages(const DdmdParams& params,
+                                             int cores_per_sim_task,
+                                             int train_tasks,
+                                             int cores_per_train_task) {
+  return {
+      DdmdStageSpec{DdmdStage::kSimulation, params.sim_tasks,
+                    cores_per_sim_task, 1},
+      DdmdStageSpec{DdmdStage::kTraining, train_tasks, cores_per_train_task,
+                    1},
+      DdmdStageSpec{DdmdStage::kSelection, 1, 4, 0},
+      DdmdStageSpec{DdmdStage::kAgent, 1, cores_per_sim_task, 1},
+  };
+}
+
+}  // namespace soma::workloads

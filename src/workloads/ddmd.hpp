@@ -1,0 +1,97 @@
+// DeepDriveMD mini-app workload model (paper §3.2, after Kilic et al. 2024).
+//
+// One *phase* of the mini-app is four stages run in order:
+//   1. Simulation     — 12 tasks, each 1 GPU + k CPU cores, GPU-bound
+//   2. ML Training    — t tasks, each 1 GPU + k cores, GPU-bound
+//   3. Model Selection — 1 task, CPU-only
+//   4. Agent (inference) — 1 task, 1 GPU + k cores
+//
+// Simulation and training do their work on the GPU, so their duration is
+// nearly insensitive to the CPU core count (the paper's tuning finding,
+// Fig. 9) and their host cores idle at low activity. Training parallelizes
+// across t tasks with an MPI_Reduce-style sync cost (the paper's explored
+// extension, §4.3). The selection stage is CPU-bound.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rp/execution_model.hpp"
+#include "rp/task.hpp"
+
+namespace soma::workloads {
+
+enum class DdmdStage { kSimulation, kTraining, kSelection, kAgent };
+
+[[nodiscard]] std::string_view to_string(DdmdStage stage);
+
+struct DdmdParams {
+  // Stage base durations (seconds) for the reference configuration.
+  double sim_seconds = 180.0;
+  double train_seconds = 150.0;
+  double selection_seconds = 30.0;
+  double agent_seconds = 60.0;
+
+  /// Residual CPU sensitivity of the GPU stages: moving from 7 cores to 1
+  /// costs only this fraction extra (host-side pre/post-processing).
+  double cpu_core_sensitivity = 0.06;
+
+  /// Parallel-training sync overhead per extra task (MPI_Reduce + data
+  /// resizing; paper §4.3).
+  double train_sync_fraction = 0.08;
+
+  /// CPU activity of each allocated core while a GPU stage runs (drives the
+  /// low utilization of Fig. 9).
+  double gpu_stage_cpu_activity = 0.18;
+  /// CPU activity of the CPU-bound selection stage.
+  double cpu_stage_activity = 0.95;
+
+  double noise_sigma = 0.05;
+
+  int sim_tasks = 12;  ///< simulation tasks per pipeline (baseline)
+};
+
+/// Execution model for one DDMD stage task.
+class DdmdStageModel final : public rp::ExecutionModel {
+ public:
+  /// `train_tasks` is the number of concurrent training tasks the stage was
+  /// configured with (training work divides across them).
+  DdmdStageModel(DdmdStage stage, DdmdParams params, int train_tasks = 1);
+
+  [[nodiscard]] Duration sample_duration(const rp::TaskDescription& task,
+                                         const rp::Placement& placement,
+                                         Rng& rng) const override;
+
+  /// Deterministic stage time for a task with `cores_per_rank` host cores.
+  [[nodiscard]] double ideal_seconds(int cores_per_rank) const;
+
+  [[nodiscard]] DdmdStage stage() const { return stage_; }
+
+ private:
+  DdmdStage stage_;
+  DdmdParams params_;
+  int train_tasks_;
+};
+
+/// Task descriptions for one full stage of one pipeline/phase.
+///
+/// uid format: "<pipeline>.<phase>.<stage>.<index>", e.g. "p003.ph1.sim.07".
+struct DdmdStageSpec {
+  DdmdStage stage;
+  int tasks = 1;
+  int cores_per_task = 1;
+  int gpus_per_task = 1;
+};
+
+std::vector<rp::TaskDescription> make_ddmd_stage_tasks(
+    const DdmdStageSpec& spec, const DdmdParams& params, int pipeline,
+    int phase, int train_tasks_in_phase);
+
+/// The four stage specs of one phase with the paper's defaults.
+std::vector<DdmdStageSpec> ddmd_phase_stages(const DdmdParams& params,
+                                             int cores_per_sim_task,
+                                             int train_tasks,
+                                             int cores_per_train_task);
+
+}  // namespace soma::workloads

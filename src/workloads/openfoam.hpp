@@ -1,0 +1,96 @@
+// OpenFOAM / AdditiveFOAM task model (paper §3.1, ExaAM melt-pool workflow).
+//
+// The paper runs AdditiveFOAM tasks at 20/41/82/164 MPI ranks (0.5 to 4
+// Summit nodes) and observes (Fig. 4) limited benefit beyond two nodes. We
+// model the execution time of one task as
+//
+//   T(r, placement) = (T_serial + W/r + c_log * log2(r) + c_lin * r)
+//                     * contention(placement) * noise
+//
+// where the linear term models the growing halo-exchange/collective cost
+// that flattens the strong-scaling curve, and contention(placement) captures
+// memory-bandwidth pressure: ranks packed densely on a node slow each other
+// (self density), ranks sharing a node with other busy tasks slow further
+// (other density), and spanning nodes adds a small network penalty. This is
+// the mechanism behind the placement effects of Fig. 6.
+//
+// The same model exposes a consistent per-rank MPI time breakdown for the
+// TAU plugin (Fig. 5): communication time is split between MPI_Recv,
+// MPI_Waitall, and MPI_Allreduce, with a deterministic per-rank imbalance
+// profile.
+#pragma once
+
+#include <memory>
+
+#include "cluster/platform.hpp"
+#include "rp/execution_model.hpp"
+#include "rp/task.hpp"
+
+namespace soma::workloads {
+
+struct OpenFoamParams {
+  double serial_seconds = 12.0;   ///< non-parallelizable fraction
+  double work_core_seconds = 7200.0;  ///< parallel work W
+  double log_coeff = 3.5;         ///< collective term (seconds * log2(r))
+  double linear_coeff = 0.45;     ///< halo/exchange term (seconds * r)
+
+  double self_contention = 0.50;  ///< slowdown per unit own-rank density
+  double other_contention = 0.18; ///< slowdown per unit other-task density
+  double cross_node_penalty = 0.008;  ///< per additional node spanned
+
+  double noise_sigma = 0.06;      ///< lognormal run-to-run variation
+
+  // Communication fractions (of total time) used for the TAU breakdown.
+  double recv_fraction = 0.32;
+  double waitall_fraction = 0.22;
+  double allreduce_fraction = 0.06;
+};
+
+class OpenFoamModel final : public rp::ExecutionModel {
+ public:
+  /// `platform` (optional) enables contention terms that read live node
+  /// occupancy at rank_start; pass nullptr for a placement-only model.
+  explicit OpenFoamModel(const cluster::Platform* platform,
+                         OpenFoamParams params = {});
+
+  [[nodiscard]] Duration sample_duration(const rp::TaskDescription& task,
+                                         const rp::Placement& placement,
+                                         Rng& rng) const override;
+
+  /// Deterministic part of the duration (no contention, no noise): the pure
+  /// strong-scaling curve used for calibration and tests.
+  [[nodiscard]] double ideal_seconds(int ranks) const;
+
+  /// Contention multiplier (>= 1) for a placement at this instant.
+  [[nodiscard]] double contention_multiplier(
+      const rp::Placement& placement) const;
+
+  [[nodiscard]] const OpenFoamParams& params() const { return params_; }
+
+  /// Per-rank time breakdown for the TAU plugin. Returns, for `rank` of
+  /// `ranks` total and a total runtime `total_seconds`, the seconds spent in
+  /// {compute, MPI_Recv, MPI_Waitall, MPI_Allreduce}. The split is
+  /// deterministic in (rank, ranks) and sums to total_seconds.
+  struct RankBreakdown {
+    double compute = 0.0;
+    double mpi_recv = 0.0;
+    double mpi_waitall = 0.0;
+    double mpi_allreduce = 0.0;
+
+    [[nodiscard]] double total() const {
+      return compute + mpi_recv + mpi_waitall + mpi_allreduce;
+    }
+  };
+  [[nodiscard]] RankBreakdown rank_breakdown(RankId rank, int ranks,
+                                             double total_seconds) const;
+
+ private:
+  const cluster::Platform* platform_;
+  OpenFoamParams params_;
+};
+
+/// Convenience factory returning a shared model for task descriptions.
+std::shared_ptr<const OpenFoamModel> make_openfoam_model(
+    const cluster::Platform* platform, OpenFoamParams params = {});
+
+}  // namespace soma::workloads

@@ -1,0 +1,235 @@
+// Unit tests for the platform/occupancy model and /proc synthesis.
+#include <gtest/gtest.h>
+
+#include "cluster/platform.hpp"
+#include "cluster/proc.hpp"
+#include "common/error.hpp"
+#include "sim/simulation.hpp"
+
+namespace soma::cluster {
+namespace {
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  sim::Simulation simulation;
+};
+
+TEST_F(ClusterTest, SummitPreset) {
+  const PlatformConfig config = summit(10);
+  EXPECT_EQ(config.nodes, 10);
+  EXPECT_EQ(config.node.total_cores, 44);
+  EXPECT_EQ(config.node.usable_cores(), 42);
+  EXPECT_EQ(config.node.gpus, 6);
+}
+
+TEST_F(ClusterTest, PlatformNodeAccess) {
+  Platform platform(simulation, summit(3));
+  EXPECT_EQ(platform.node_count(), 3);
+  EXPECT_EQ(platform.node(0).hostname(), "cn0000");
+  EXPECT_EQ(platform.node(2).hostname(), "cn0002");
+  EXPECT_THROW(platform.node(3), InternalError);
+  EXPECT_THROW(platform.node(-1), InternalError);
+}
+
+TEST_F(ClusterTest, CoreAllocationAndRelease) {
+  Platform platform(simulation, summit(1));
+  auto& node = platform.node(0);
+  EXPECT_EQ(node.free_cores(), 42);
+
+  auto cores = node.allocate_cores(10, "task.a");
+  ASSERT_TRUE(cores.has_value());
+  EXPECT_EQ(cores->size(), 10u);
+  EXPECT_EQ(node.busy_cores(), 10);
+  EXPECT_EQ(node.free_cores(), 32);
+
+  node.release_cores(*cores, "task.a");
+  EXPECT_EQ(node.free_cores(), 42);
+}
+
+TEST_F(ClusterTest, OverAllocationRefusedAtomically) {
+  Platform platform(simulation, summit(1));
+  auto& node = platform.node(0);
+  auto a = node.allocate_cores(40, "a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(node.allocate_cores(3, "b").has_value());
+  EXPECT_EQ(node.busy_cores(), 40);  // nothing partially claimed
+}
+
+TEST_F(ClusterTest, WrongOwnerReleaseThrows) {
+  Platform platform(simulation, summit(1));
+  auto& node = platform.node(0);
+  auto cores = node.allocate_cores(2, "owner");
+  EXPECT_THROW(node.release_cores(*cores, "intruder"), InternalError);
+}
+
+TEST_F(ClusterTest, GpuAllocation) {
+  Platform platform(simulation, summit(1));
+  auto& node = platform.node(0);
+  auto gpus = node.allocate_gpus(4, "task.g");
+  ASSERT_TRUE(gpus.has_value());
+  EXPECT_EQ(node.free_gpus(), 2);
+  EXPECT_FALSE(node.allocate_gpus(3, "x").has_value());
+  node.release_gpus(*gpus, "task.g");
+  EXPECT_EQ(node.free_gpus(), 6);
+}
+
+TEST_F(ClusterTest, RamTracking) {
+  Platform platform(simulation, summit(1));
+  auto& node = platform.node(0);
+  const double total = node.available_ram_mib();
+  node.claim_ram(1024.0);
+  EXPECT_DOUBLE_EQ(node.available_ram_mib(), total - 1024.0);
+  node.release_ram(1024.0);
+  EXPECT_DOUBLE_EQ(node.available_ram_mib(), total);
+}
+
+TEST_F(ClusterTest, UtilizationIntegratesActivity) {
+  Platform platform(simulation, summit(1));
+  auto& node = platform.node(0);
+
+  // 21 cores at full activity = 50% of 42 cores.
+  auto cores = node.allocate_cores(21, "t", 1.0);
+  EXPECT_DOUBLE_EQ(node.utilization_now(), 0.5);
+
+  simulation.schedule(Duration::seconds(10.0), [&] {
+    node.release_cores(*cores, "t");
+  });
+  simulation.run();
+  // 21 cores * 10 s = 210 busy core-seconds.
+  EXPECT_NEAR(node.busy_core_seconds(), 210.0, 1e-9);
+}
+
+TEST_F(ClusterTest, ActivityWeightsUtilization) {
+  Platform platform(simulation, summit(1));
+  auto& node = platform.node(0);
+  node.allocate_cores(42, "gpu-task", 0.2);  // all cores, barely used
+  EXPECT_NEAR(node.utilization_now(), 0.2, 1e-12);
+}
+
+TEST_F(ClusterTest, SetCoreActivity) {
+  Platform platform(simulation, summit(1));
+  auto& node = platform.node(0);
+  auto cores = node.allocate_cores(10, "t", 1.0);
+  simulation.schedule(Duration::seconds(5.0), [&] {
+    node.set_core_activity(*cores, "t", 0.0);
+  });
+  simulation.schedule(Duration::seconds(10.0), [&] {
+    node.release_cores(*cores, "t");
+  });
+  simulation.run();
+  // Busy only for the first 5 seconds.
+  EXPECT_NEAR(node.busy_core_seconds(), 50.0, 1e-9);
+  EXPECT_THROW(node.set_core_activity({0}, "t", 2.0), InternalError);
+}
+
+TEST_F(ClusterTest, PerCoreBusySeconds) {
+  Platform platform(simulation, summit(1));
+  auto& node = platform.node(0);
+  auto cores = node.allocate_cores(1, "t", 1.0);
+  simulation.schedule(Duration::seconds(3.0), [&] {
+    node.release_cores(*cores, "t");
+  });
+  simulation.run();
+  EXPECT_NEAR(node.core_busy_seconds((*cores)[0]), 3.0, 1e-9);
+  // An unused core stays at zero.
+  EXPECT_DOUBLE_EQ(node.core_busy_seconds(41), 0.0);
+}
+
+TEST_F(ClusterTest, UtilizationSinceWindow) {
+  Platform platform(simulation, summit(1));
+  auto& node = platform.node(0);
+  const SimTime t0 = simulation.now();
+  const double busy0 = node.busy_core_seconds();
+
+  node.allocate_cores(42, "t", 1.0);
+  simulation.schedule(Duration::seconds(10.0), [] {});
+  simulation.run();
+  EXPECT_NEAR(node.utilization_since(t0, busy0), 1.0, 1e-9);
+}
+
+TEST_F(ClusterTest, TotalsAcrossPlatform) {
+  Platform platform(simulation, summit(2));
+  platform.node(0).allocate_cores(10, "a");
+  platform.node(1).allocate_gpus(2, "b");
+  EXPECT_EQ(platform.total_free_cores(), 42 * 2 - 10);
+  EXPECT_EQ(platform.total_free_gpus(), 12 - 2);
+}
+
+TEST_F(ClusterTest, GpuBusySecondsIntegrate) {
+  Platform platform(simulation, summit(1));
+  auto& node = platform.node(0);
+  EXPECT_DOUBLE_EQ(node.gpu_utilization_now(), 0.0);
+
+  auto gpus = node.allocate_gpus(3, "t");
+  EXPECT_DOUBLE_EQ(node.gpu_utilization_now(), 0.5);
+  simulation.schedule(Duration::seconds(10.0), [&] {
+    node.release_gpus(*gpus, "t");
+  });
+  simulation.run();
+  // 3 GPUs x 10 s.
+  EXPECT_NEAR(node.busy_gpu_seconds(), 30.0, 1e-9);
+  EXPECT_DOUBLE_EQ(node.gpu_utilization_now(), 0.0);
+  // Integral frozen after release.
+  simulation.schedule(Duration::seconds(5.0), [] {});
+  simulation.run();
+  EXPECT_NEAR(node.busy_gpu_seconds(), 30.0, 1e-9);
+}
+
+// ---------- /proc synthesis ----------
+
+TEST_F(ClusterTest, ProcSnapshotShape) {
+  Platform platform(simulation, summit(1));
+  auto& node = platform.node(0);
+  node.process_started();
+  Rng rng(1);
+  const datamodel::Node snapshot =
+      make_proc_snapshot(node, SimTime::from_seconds(100.0), rng);
+
+  ASSERT_TRUE(snapshot.has_child("cn0000"));
+  const auto& host = snapshot.fetch_existing("cn0000");
+  ASSERT_EQ(host.number_of_children(), 1u);  // one timestamp block
+  const auto& at = host.child_at(0);
+  EXPECT_EQ(at.fetch_existing("Uptime").as_int64(), 100);
+  EXPECT_EQ(at.fetch_existing("Num Processes").as_int64(), 3);  // 2 base + 1
+  EXPECT_GT(at.fetch_existing("Available RAM").as_int64(), 0);
+  // Aggregate + per-core stat rows.
+  const auto& stat = at.fetch_existing("stat");
+  EXPECT_TRUE(stat.has_child("cpu"));
+  EXPECT_TRUE(stat.has_child("cpu0"));
+  EXPECT_TRUE(stat.has_child("cpu41"));
+  EXPECT_EQ(stat.fetch_existing("cpu").as_int64_array().size(), 6u);
+}
+
+TEST_F(ClusterTest, ProcJiffiesReflectOccupancy) {
+  Platform platform(simulation, summit(1));
+  auto& node = platform.node(0);
+  Rng rng(1);
+
+  node.allocate_cores(21, "t", 1.0);  // 50% busy
+  simulation.schedule(Duration::seconds(100.0), [] {});
+  simulation.run();
+
+  const datamodel::Node before = make_proc_snapshot(
+      node, SimTime::zero(), rng);  // boot-time zeros equivalent
+  const datamodel::Node after =
+      make_proc_snapshot(node, simulation.now(), rng);
+  const auto& cpu =
+      after.fetch_existing("cn0000").child_at(0).fetch_existing("stat/cpu");
+  (void)before;
+  const double utilization = utilization_from_stat(
+      std::vector<std::int64_t>(6, 0), cpu.as_int64_array());
+  EXPECT_NEAR(utilization, 0.5, 0.03);
+}
+
+TEST_F(ClusterTest, UtilizationFromStatDiffs) {
+  // busy delta 30, idle delta 70 -> 30%.
+  const std::vector<std::int64_t> before{100, 0, 50, 1000, 10, 5};
+  const std::vector<std::int64_t> after{120, 0, 55, 1070, 13, 7};
+  EXPECT_NEAR(utilization_from_stat(before, after), 0.30, 1e-12);
+  // No elapsed time -> 0.
+  EXPECT_DOUBLE_EQ(utilization_from_stat(before, before), 0.0);
+  EXPECT_THROW(utilization_from_stat({1, 2}, {3, 4}), InternalError);
+}
+
+}  // namespace
+}  // namespace soma::cluster

@@ -1,0 +1,291 @@
+// Unit tests for src/common: time types, RNG, statistics, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace soma {
+namespace {
+
+// ---------- Duration / SimTime ----------
+
+TEST(DurationTest, ConstructionAndConversion) {
+  EXPECT_EQ(Duration::zero().nanos(), 0);
+  EXPECT_EQ(Duration::nanoseconds(5).nanos(), 5);
+  EXPECT_EQ(Duration::microseconds(2).nanos(), 2000);
+  EXPECT_EQ(Duration::milliseconds(3).nanos(), 3'000'000);
+  EXPECT_EQ(Duration::seconds(1.5).nanos(), 1'500'000'000);
+  EXPECT_EQ(Duration::minutes(2).nanos(), 120'000'000'000);
+  EXPECT_DOUBLE_EQ(Duration::seconds(2.5).to_seconds(), 2.5);
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = Duration::seconds(2.0);
+  const Duration b = Duration::seconds(0.5);
+  EXPECT_EQ((a + b).nanos(), 2'500'000'000);
+  EXPECT_EQ((a - b).nanos(), 1'500'000'000);
+  EXPECT_EQ((a * 2.0).nanos(), 4'000'000'000);
+  EXPECT_EQ((a / 4.0).nanos(), 500'000'000);
+  Duration c = a;
+  c += b;
+  EXPECT_EQ(c.nanos(), 2'500'000'000);
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(DurationTest, Comparison) {
+  EXPECT_LT(Duration::seconds(1.0), Duration::seconds(2.0));
+  EXPECT_EQ(Duration::seconds(1.0), Duration::milliseconds(1000));
+  EXPECT_GT(Duration::seconds(-1.0), Duration::seconds(-2.0));
+}
+
+TEST(SimTimeTest, ArithmeticWithDuration) {
+  const SimTime t0 = SimTime::from_seconds(10.0);
+  const SimTime t1 = t0 + Duration::seconds(5.0);
+  EXPECT_DOUBLE_EQ(t1.to_seconds(), 15.0);
+  EXPECT_EQ(t1 - t0, Duration::seconds(5.0));
+  EXPECT_EQ((t1 - Duration::seconds(5.0)), t0);
+  SimTime t2 = t0;
+  t2 += Duration::seconds(1.0);
+  EXPECT_DOUBLE_EQ(t2.to_seconds(), 11.0);
+}
+
+TEST(SimTimeTest, Ordering) {
+  EXPECT_LT(SimTime::zero(), SimTime::from_seconds(1.0));
+  EXPECT_LT(SimTime::from_seconds(1.0), SimTime::max());
+}
+
+TEST(FormatTest, FormatSeconds) {
+  EXPECT_EQ(format_seconds(1.23456, 3), "1.235");
+  EXPECT_EQ(format_seconds(0.0, 1), "0.0");
+  EXPECT_EQ(format_time(SimTime::from_seconds(2.5), 2), "2.50");
+}
+
+// ---------- Rng ----------
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(5.0, 9.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(RngTest, UniformIndexBounds) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+  EXPECT_EQ(rng.uniform_index(0), 0u);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalShifted) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, LognormalMedian) {
+  Rng rng(19);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(rng.lognormal(100.0, 0.2));
+  EXPECT_NEAR(percentile(samples, 50.0), 100.0, 1.5);
+  for (double s : samples) EXPECT_GT(s, 0.0);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitStreamsIndependent) {
+  Rng parent(31);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, SplitByStringDeterministic) {
+  Rng parent(31);
+  Rng a = parent.split("task.000001");
+  Rng b = parent.split("task.000001");
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c = parent.split("task.000002");
+  Rng d = parent.split("task.000001");
+  EXPECT_NE(c.next_u64(), d.next_u64());
+}
+
+TEST(RngTest, SplitDoesNotPerturbParent) {
+  Rng a(37), b(37);
+  (void)a.split(99);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+// ---------- stats ----------
+
+TEST(StatsTest, SummarizeEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(StatsTest, SummarizeSingle) {
+  const Summary s = summarize({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 42.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 42.0);
+  EXPECT_EQ(s.max, 42.0);
+  EXPECT_EQ(s.median, 42.0);
+}
+
+TEST(StatsTest, SummarizeKnownValues) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(percentile({10.0, 20.0}, 50.0), 15.0);
+  EXPECT_DOUBLE_EQ(percentile({10.0, 20.0}, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile({10.0, 20.0}, 100.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(StatsTest, PercentileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile({30.0, 10.0, 20.0}, 50.0), 20.0);
+}
+
+TEST(StatsTest, CoefficientOfVariation) {
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({5.0, 5.0, 5.0}), 0.0);
+  EXPECT_GT(coefficient_of_variation({1.0, 9.0}), 0.5);
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({}), 0.0);
+}
+
+TEST(StatsTest, LoadImbalance) {
+  EXPECT_DOUBLE_EQ(load_imbalance({2.0, 2.0, 2.0}), 0.0);
+  EXPECT_NEAR(load_imbalance({1.0, 3.0}), 0.5, 1e-12);  // max 3 / mean 2 - 1
+  EXPECT_DOUBLE_EQ(load_imbalance({}), 0.0);
+  EXPECT_DOUBLE_EQ(load_imbalance({0.0, 0.0}), 0.0);
+}
+
+TEST(StatsTest, RunningStatsMatchesBatch) {
+  const std::vector<double> samples = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0};
+  RunningStats running;
+  for (double s : samples) running.add(s);
+  const Summary batch = summarize(samples);
+  EXPECT_EQ(running.count(), samples.size());
+  EXPECT_NEAR(running.mean(), batch.mean, 1e-12);
+  EXPECT_NEAR(running.stddev(), batch.stddev, 1e-12);
+  EXPECT_DOUBLE_EQ(running.min(), 1.0);
+  EXPECT_DOUBLE_EQ(running.max(), 9.0);
+}
+
+TEST(StatsTest, RunningStatsEdgeCases) {
+  RunningStats r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_DOUBLE_EQ(r.variance(), 0.0);
+  r.add(7.0);
+  EXPECT_DOUBLE_EQ(r.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(r.mean(), 7.0);
+}
+
+// ---------- table ----------
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"long-name", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(out.find("| long-name | 22    |"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"x"});
+  EXPECT_NE(table.to_string().find("| x |"), std::string::npos);
+}
+
+TEST(TableTest, AsciiBar) {
+  EXPECT_EQ(ascii_bar(50.0, 100.0, 10), "#####");
+  EXPECT_EQ(ascii_bar(100.0, 100.0, 10), "##########");
+  EXPECT_EQ(ascii_bar(200.0, 100.0, 10), "##########");  // clamped
+  EXPECT_EQ(ascii_bar(0.0, 100.0, 10), "");
+  EXPECT_EQ(ascii_bar(50.0, 0.0, 10), "");
+}
+
+}  // namespace
+}  // namespace soma

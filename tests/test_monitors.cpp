@@ -1,0 +1,285 @@
+// Unit tests for the RP workflow monitor and the hardware monitor.
+#include <gtest/gtest.h>
+
+#include "monitors/hw_monitor.hpp"
+#include "monitors/rp_monitor.hpp"
+#include "soma/service.hpp"
+
+namespace soma::monitors {
+namespace {
+
+rp::SessionConfig session_config() {
+  rp::SessionConfig config;
+  config.platform = cluster::summit(3);
+  config.pilot.nodes = 3;
+  config.seed = 33;
+  return config;
+}
+
+// ---------- RpMonitor ----------
+
+class RpMonitorTest : public ::testing::Test {
+ protected:
+  RpMonitorTest() : session(session_config()) {}
+
+  void start_with_service() {
+    service = std::make_unique<core::SomaService>(session.network(),
+                                                  std::vector<NodeId>{0});
+    client = std::make_unique<core::SomaClient>(
+        session.network(), 0, 6000, core::Namespace::kWorkflow,
+        service->instance(core::Namespace::kWorkflow).ranks);
+  }
+
+  rp::Session session;
+  std::unique_ptr<core::SomaService> service;
+  std::unique_ptr<core::SomaClient> client;
+};
+
+TEST_F(RpMonitorTest, PublishesSummaries) {
+  RpMonitorConfig config;
+  config.period = Duration::seconds(10.0);
+  std::unique_ptr<RpMonitor> monitor;
+  session.start([&] {
+    start_with_service();
+    monitor = std::make_unique<RpMonitor>(session, *client, config);
+    monitor->start();
+    session.submit(rp::TaskDescription{
+        .uid = "t", .ranks = 4, .fixed_duration = Duration::seconds(25.0)});
+    session.simulation().schedule(Duration::seconds(60.0), [&] {
+      monitor->stop();
+      session.finalize();
+    });
+  });
+  session.run();
+
+  EXPECT_GE(monitor->ticks(), 6u);
+  const auto& series =
+      service->store().series(core::Namespace::kWorkflow, "rp_monitor");
+  ASSERT_GE(series.size(), 6u);
+
+  // Early tick: the task is pending or executing; late tick: done.
+  const auto& early = series[1].data.fetch_existing("summary");
+  const auto& late = series.back().data.fetch_existing("summary");
+  EXPECT_EQ(late.fetch_existing("tasks_done").as_int64(), 1);
+  EXPECT_EQ(early.fetch_existing("tasks_done").as_int64() +
+                early.fetch_existing("tasks_executing").as_int64() +
+                early.fetch_existing("tasks_pending").as_int64(),
+            1);
+  EXPECT_NEAR(late.fetch_existing("mean_exec_seconds").to_float64(), 25.0,
+              1.0);
+}
+
+TEST_F(RpMonitorTest, EventsPublishedIncrementally) {
+  RpMonitorConfig config;
+  config.period = Duration::seconds(10.0);
+  std::unique_ptr<RpMonitor> monitor;
+  session.start([&] {
+    start_with_service();
+    monitor = std::make_unique<RpMonitor>(session, *client, config);
+    monitor->start();
+    session.submit(rp::TaskDescription{
+        .uid = "t", .ranks = 1, .fixed_duration = Duration::seconds(5.0)});
+    session.simulation().schedule(Duration::seconds(30.0), [&] {
+      monitor->stop();
+      session.finalize();
+    });
+  });
+  session.run();
+
+  const auto& series =
+      service->store().series(core::Namespace::kWorkflow, "rp_monitor");
+  // rank_start for task "t" appears in exactly one tick's event block.
+  int ticks_with_rank_start = 0;
+  for (const auto& record : series) {
+    const auto* events = record.data.find_child("events");
+    if (events == nullptr) continue;
+    const auto* task_events = events->find_child("t");
+    if (task_events == nullptr) continue;
+    for (std::size_t i = 0; i < task_events->number_of_children(); ++i) {
+      if (task_events->child_at(i).as_string() == rp::events::kRankStart) {
+        ++ticks_with_rank_start;
+      }
+    }
+  }
+  EXPECT_EQ(ticks_with_rank_start, 1);
+}
+
+TEST_F(RpMonitorTest, CpuShareGrowsWithTasksAndSaturates) {
+  RpMonitorConfig config;
+  config.period = Duration::seconds(10.0);
+  std::unique_ptr<RpMonitor> monitor;
+  double share_empty = 0.0;
+  session.start([&] {
+    start_with_service();
+    monitor = std::make_unique<RpMonitor>(session, *client, config);
+    share_empty = monitor->cpu_share();
+    for (int i = 0; i < 50; ++i) {
+      session.submit(rp::TaskDescription{
+          .ranks = 1, .fixed_duration = Duration::seconds(1.0)});
+    }
+    session.finalize();
+  });
+  session.run();
+  EXPECT_GT(monitor->cpu_share(), share_empty);
+  EXPECT_LE(monitor->cpu_share(), config.cpu_share_cap);
+}
+
+TEST_F(RpMonitorTest, RequiresWorkflowNamespaceClient) {
+  session.start([&] {
+    service = std::make_unique<core::SomaService>(session.network(),
+                                                  std::vector<NodeId>{0});
+    core::SomaClient wrong(
+        session.network(), 0, 6000, core::Namespace::kHardware,
+        service->instance(core::Namespace::kHardware).ranks);
+    EXPECT_THROW(RpMonitor(session, wrong), InternalError);
+    session.finalize();
+  });
+  session.run();
+}
+
+// ---------- HwMonitor ----------
+
+class HwMonitorTest : public ::testing::Test {
+ protected:
+  sim::Simulation simulation;
+  net::Network network{simulation, net::NetworkConfig{}};
+  cluster::Platform platform{simulation, cluster::summit(2)};
+};
+
+TEST_F(HwMonitorTest, PublishesSnapshotsWithUtilization) {
+  core::SomaService service(network, {0});
+  core::SomaClient client(network, 1, 6000, core::Namespace::kHardware,
+                          service.instance(core::Namespace::kHardware).ranks);
+  HwMonitorConfig config;
+  config.period = Duration::seconds(30.0);
+  HwMonitor monitor(simulation, platform.node(1), client, Rng{3}, config);
+
+  // Busy the node at 50% for the whole window.
+  platform.node(1).allocate_cores(21, "t", 1.0);
+  monitor.start(Duration::seconds(30.0));
+  simulation.run_until(SimTime::from_seconds(125.0));
+  monitor.stop();
+  simulation.run();
+
+  EXPECT_EQ(monitor.ticks(), 4u);  // 30, 60, 90, 120
+  ASSERT_EQ(monitor.samples().size(), 4u);
+  // Window utilization close to 0.5 (plus ~1% background activity).
+  for (const auto& sample : monitor.samples()) {
+    EXPECT_NEAR(sample.utilization, 0.5, 0.05);
+  }
+
+  const auto& series =
+      service.store().series(core::Namespace::kHardware, "cn0001");
+  ASSERT_EQ(series.size(), 4u);
+  const auto& last = series.back().data;
+  EXPECT_TRUE(last.has_path("cn0001/cpu_utilization"));
+  EXPECT_NEAR(last.fetch_existing("cn0001/cpu_utilization").as_float64(), 0.5,
+              0.05);
+}
+
+TEST_F(HwMonitorTest, UtilizationTracksChanges) {
+  core::SomaService service(network, {0});
+  core::SomaClient client(network, 1, 6000, core::Namespace::kHardware,
+                          service.instance(core::Namespace::kHardware).ranks);
+  HwMonitorConfig config;
+  config.period = Duration::seconds(10.0);
+  HwMonitor monitor(simulation, platform.node(1), client, Rng{3}, config);
+  monitor.start(Duration::seconds(10.0));
+
+  // Idle for 30 s, then fully busy.
+  std::optional<std::vector<CoreId>> cores;
+  simulation.schedule(Duration::seconds(30.0), [&] {
+    cores = platform.node(1).allocate_cores(42, "t", 1.0);
+  });
+  simulation.run_until(SimTime::from_seconds(65.0));
+  monitor.stop();
+
+  const auto& samples = monitor.samples();
+  ASSERT_GE(samples.size(), 6u);
+  EXPECT_LT(samples[1].utilization, 0.1);   // idle window
+  EXPECT_GT(samples[4].utilization, 0.85);  // busy window (30-40 s)
+}
+
+TEST_F(HwMonitorTest, GpuUtilizationSampled) {
+  core::SomaService service(network, {0});
+  core::SomaClient client(network, 1, 6000, core::Namespace::kHardware,
+                          service.instance(core::Namespace::kHardware).ranks);
+  HwMonitorConfig config;
+  config.period = Duration::seconds(10.0);
+  HwMonitor monitor(simulation, platform.node(1), client, Rng{3}, config);
+  monitor.start(Duration::seconds(10.0));
+
+  // 3 of 6 GPUs busy for the whole run.
+  platform.node(1).allocate_gpus(3, "t");
+  simulation.run_until(SimTime::from_seconds(35.0));
+  monitor.stop();
+
+  ASSERT_GE(monitor.samples().size(), 3u);
+  for (const auto& sample : monitor.samples()) {
+    EXPECT_NEAR(sample.gpu_utilization, 0.5, 1e-9);
+  }
+  const auto* record =
+      service.store().latest(core::Namespace::kHardware, "cn0001");
+  // The last publish may still be in flight at stop(); drain first.
+  simulation.run();
+  record = service.store().latest(core::Namespace::kHardware, "cn0001");
+  ASSERT_NE(record, nullptr);
+  EXPECT_NEAR(
+      record->data.fetch_existing("cn0001/gpu_utilization").as_float64(), 0.5,
+      1e-9);
+}
+
+TEST_F(RpMonitorTest, DwellTimesReported) {
+  RpMonitorConfig config;
+  config.period = Duration::seconds(10.0);
+  std::unique_ptr<RpMonitor> monitor;
+  session.start([&] {
+    start_with_service();
+    monitor = std::make_unique<RpMonitor>(session, *client, config);
+    monitor->start();
+    session.submit(rp::TaskDescription{
+        .uid = "t", .ranks = 4, .fixed_duration = Duration::seconds(20.0)});
+    session.simulation().schedule(Duration::seconds(40.0), [&] {
+      monitor->stop();
+      session.finalize();
+    });
+  });
+  session.run();
+
+  const auto& summary = monitor->last_summary();
+  // TMGR dwell = tmgr_cost + channel latency (~7 ms).
+  EXPECT_GT(summary.mean_tmgr_wait_seconds, 0.0);
+  EXPECT_LT(summary.mean_tmgr_wait_seconds, 0.1);
+  // Agent dwell includes the scheduler decision (~15 ms median).
+  EXPECT_GT(summary.mean_agent_wait_seconds, 0.0);
+  EXPECT_LT(summary.mean_agent_wait_seconds, 1.0);
+  // Launch overhead: jsrun spawn ~0.36 s + prologue.
+  EXPECT_GT(summary.mean_launch_overhead_seconds, 0.1);
+  EXPECT_LT(summary.mean_launch_overhead_seconds, 2.0);
+}
+
+TEST_F(HwMonitorTest, NoiseFractionFollowsFrequency) {
+  core::SomaService service(network, {0});
+  core::SomaClient client(network, 1, 6000, core::Namespace::kHardware,
+                          service.instance(core::Namespace::kHardware).ranks);
+  HwMonitorConfig slow;
+  slow.period = Duration::seconds(60.0);
+  HwMonitorConfig fast;
+  fast.period = Duration::seconds(10.0);
+  HwMonitor slow_monitor(simulation, platform.node(0), client, Rng{1}, slow);
+  HwMonitor fast_monitor(simulation, platform.node(1), client, Rng{1}, fast);
+  EXPECT_NEAR(fast_monitor.noise_fraction(),
+              6.0 * slow_monitor.noise_fraction(), 1e-12);
+  EXPECT_LT(fast_monitor.noise_fraction(), 0.02);  // small perturbation
+}
+
+TEST_F(HwMonitorTest, RequiresHardwareNamespaceClient) {
+  core::SomaService service(network, {0});
+  core::SomaClient wrong(network, 1, 6000, core::Namespace::kWorkflow,
+                         service.instance(core::Namespace::kWorkflow).ranks);
+  EXPECT_THROW(HwMonitor(simulation, platform.node(0), wrong, Rng{1}),
+               InternalError);
+}
+
+}  // namespace
+}  // namespace soma::monitors

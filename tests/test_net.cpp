@@ -1,0 +1,287 @@
+// Unit tests for the simulated fabric and the RPC engine.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "net/network.hpp"
+#include "net/rpc.hpp"
+#include "sim/simulation.hpp"
+
+namespace soma::net {
+namespace {
+
+TEST(AddressTest, RoundTrip) {
+  const Address address = make_address(17, 9001);
+  EXPECT_EQ(address, "sim://node17:9001");
+  EXPECT_EQ(address_node(address), 17);
+}
+
+TEST(AddressTest, MalformedThrows) {
+  EXPECT_THROW(address_node("tcp://node1:5"), ConfigError);
+  EXPECT_THROW(address_node("sim://node1"), ConfigError);
+  EXPECT_THROW(address_node("sim://nodeX:5"), ConfigError);
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  sim::Simulation simulation;
+  NetworkConfig config{};
+  Network network{simulation, config};
+};
+
+TEST_F(NetworkTest, DeliversWithLatency) {
+  std::vector<std::byte> received;
+  SimTime arrival;
+  network.bind(make_address(1, 1), [&](const Address&,
+                                       std::vector<std::byte> payload) {
+    received = std::move(payload);
+    arrival = simulation.now();
+  });
+  std::vector<std::byte> payload(1000);
+  network.bind(make_address(0, 1), [](const Address&,
+                                      std::vector<std::byte>) {});
+  network.send(make_address(0, 1), make_address(1, 1), payload);
+  simulation.run();
+  EXPECT_EQ(received.size(), 1000u);
+  // latency 2us + 1000B / 12.5GB/s = 2us + 0.08us
+  EXPECT_NEAR(arrival.to_seconds(), 2.08e-6, 1e-8);
+}
+
+TEST_F(NetworkTest, LoopbackIsFaster) {
+  SimTime arrival;
+  network.bind(make_address(0, 2), [&](const Address&,
+                                       std::vector<std::byte>) {
+    arrival = simulation.now();
+  });
+  network.bind(make_address(0, 1), [](const Address&,
+                                      std::vector<std::byte>) {});
+  network.send(make_address(0, 1), make_address(0, 2),
+               std::vector<std::byte>(1 << 20));  // 1 MiB, free on loopback
+  simulation.run();
+  EXPECT_NEAR(arrival.to_seconds(), 0.5e-6, 1e-9);
+}
+
+TEST_F(NetworkTest, NicSerializesBackToBackSends) {
+  std::vector<double> arrivals;
+  network.bind(make_address(1, 1), [&](const Address&,
+                                       std::vector<std::byte>) {
+    arrivals.push_back(simulation.now().to_seconds());
+  });
+  network.bind(make_address(0, 1), [](const Address&,
+                                      std::vector<std::byte>) {});
+  // Two 12.5 KB messages: each takes 1us of wire time.
+  const std::vector<std::byte> payload(12500);
+  network.send(make_address(0, 1), make_address(1, 1), payload);
+  network.send(make_address(0, 1), make_address(1, 1), payload);
+  simulation.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // Second message starts only after the first's transfer finished.
+  EXPECT_NEAR(arrivals[1] - arrivals[0], 1e-6, 1e-8);
+}
+
+TEST_F(NetworkTest, DoubleBindThrows) {
+  network.bind(make_address(0, 1), [](const Address&, std::vector<std::byte>) {});
+  EXPECT_THROW(
+      network.bind(make_address(0, 1),
+                   [](const Address&, std::vector<std::byte>) {}),
+      ConfigError);
+}
+
+TEST_F(NetworkTest, UnboundDestinationDropsMessage) {
+  network.bind(make_address(0, 1), [](const Address&, std::vector<std::byte>) {});
+  network.send(make_address(0, 1), make_address(5, 5), {});
+  simulation.run();
+  EXPECT_EQ(network.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, UnbindStopsDelivery) {
+  int received = 0;
+  network.bind(make_address(1, 1), [&](const Address&,
+                                       std::vector<std::byte>) { ++received; });
+  network.bind(make_address(0, 1), [](const Address&, std::vector<std::byte>) {});
+  network.send(make_address(0, 1), make_address(1, 1), {});
+  network.unbind(make_address(1, 1));
+  simulation.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(network.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, Accounting) {
+  network.bind(make_address(1, 1), [](const Address&, std::vector<std::byte>) {});
+  network.bind(make_address(0, 1), [](const Address&, std::vector<std::byte>) {});
+  network.send(make_address(0, 1), make_address(1, 1),
+               std::vector<std::byte>(100));
+  network.send(make_address(0, 1), make_address(1, 1),
+               std::vector<std::byte>(50));
+  EXPECT_EQ(network.messages_sent(), 2u);
+  EXPECT_EQ(network.bytes_sent(), 150u);
+}
+
+// ---------- RPC engine ----------
+
+class RpcTest : public ::testing::Test {
+ protected:
+  sim::Simulation simulation;
+  Network network{simulation, NetworkConfig{}};
+};
+
+datamodel::Node make_payload(std::int64_t value) {
+  datamodel::Node node;
+  node["value"].set(value);
+  return node;
+}
+
+TEST_F(RpcTest, CallInvokesHandlerAndReturnsResponse) {
+  Engine server(network, make_address(0, 100));
+  Engine client(network, make_address(1, 100));
+
+  server.define("echo", [](const Address&, const datamodel::Node& args) {
+    datamodel::Node reply;
+    reply["echoed"].set(args.fetch_existing("value").as_int64() * 2);
+    return reply;
+  });
+
+  std::int64_t result = 0;
+  client.call(server.address(), "echo", make_payload(21),
+              [&](datamodel::Node reply) {
+                result = reply.fetch_existing("echoed").as_int64();
+              });
+  simulation.run();
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(server.stats().requests_handled, 1u);
+  EXPECT_EQ(client.stats().responses_received, 1u);
+}
+
+TEST_F(RpcTest, CallerAddressPassedToHandler) {
+  Engine server(network, make_address(0, 100));
+  Engine client(network, make_address(3, 100));
+  Address seen;
+  server.define("who", [&](const Address& caller, const datamodel::Node&) {
+    seen = caller;
+    return datamodel::Node{};
+  });
+  client.call(server.address(), "who", {});
+  simulation.run();
+  EXPECT_EQ(seen, client.address());
+}
+
+TEST_F(RpcTest, UnknownRpcReturnsError) {
+  Engine server(network, make_address(0, 100));
+  Engine client(network, make_address(1, 100));
+  datamodel::Node reply;
+  client.call(server.address(), "nope", {},
+              [&](datamodel::Node r) { reply = std::move(r); });
+  simulation.run();
+  EXPECT_TRUE(reply.has_child("error"));
+}
+
+TEST_F(RpcTest, DuplicateRpcNameThrows) {
+  Engine server(network, make_address(0, 100));
+  server.define("x", [](const Address&, const datamodel::Node&) {
+    return datamodel::Node{};
+  });
+  EXPECT_THROW(server.define("x",
+                             [](const Address&, const datamodel::Node&) {
+                               return datamodel::Node{};
+                             }),
+               ConfigError);
+}
+
+TEST_F(RpcTest, FireAndForgetStillCountsAck) {
+  Engine server(network, make_address(0, 100));
+  Engine client(network, make_address(1, 100));
+  server.define("noop", [](const Address&, const datamodel::Node&) {
+    return datamodel::Node{};
+  });
+  client.call(server.address(), "noop", {});  // no callback
+  simulation.run();
+  EXPECT_EQ(server.stats().requests_handled, 1u);
+  EXPECT_EQ(client.stats().responses_received, 1u);
+}
+
+TEST_F(RpcTest, SerialServiceQueuesRequests) {
+  // With base cost 1ms, 5 near-simultaneous requests should finish ~5ms of
+  // service time later, and queueing delay must accumulate.
+  ServiceCost cost;
+  cost.base = Duration::milliseconds(1);
+  cost.per_kib = Duration::zero();
+  Engine server(network, make_address(0, 100), cost);
+  Engine client(network, make_address(1, 100));
+  server.define("work", [](const Address&, const datamodel::Node&) {
+    return datamodel::Node{};
+  });
+
+  int acks = 0;
+  SimTime last_ack;
+  for (int i = 0; i < 5; ++i) {
+    client.call(server.address(), "work", make_payload(i),
+                [&](datamodel::Node) {
+                  ++acks;
+                  last_ack = simulation.now();
+                });
+  }
+  simulation.run();
+  EXPECT_EQ(acks, 5);
+  EXPECT_GE(last_ack.to_seconds(), 5e-3);
+  EXPECT_GT(server.stats().total_queue_delay, Duration::zero());
+  EXPECT_GE(server.stats().max_queue_delay, Duration::milliseconds(3));
+}
+
+TEST_F(RpcTest, ServiceCostScalesWithPayload) {
+  ServiceCost cost;
+  EXPECT_EQ(cost.cost_for(0), cost.base);
+  EXPECT_GT(cost.cost_for(10240), cost.cost_for(1024));
+  const Duration one_kib = cost.cost_for(1024);
+  EXPECT_EQ(one_kib, cost.base + cost.per_kib);
+}
+
+TEST_F(RpcTest, ByteAccounting) {
+  Engine server(network, make_address(0, 100));
+  Engine client(network, make_address(1, 100));
+  server.define("x", [](const Address&, const datamodel::Node&) {
+    return datamodel::Node{};
+  });
+  client.call(server.address(), "x", make_payload(7));
+  simulation.run();
+  EXPECT_GT(client.stats().bytes_out, 0u);
+  EXPECT_EQ(server.stats().bytes_in, client.stats().bytes_out);
+  EXPECT_GT(server.stats().bytes_out, 0u);
+}
+
+TEST_F(RpcTest, EngineUnbindsOnDestruction) {
+  {
+    Engine server(network, make_address(0, 100));
+  }
+  // Address reusable after destruction.
+  Engine again(network, make_address(0, 100));
+  SUCCEED();
+}
+
+TEST_F(RpcTest, ManyConcurrentClients) {
+  ServiceCost cost;
+  cost.base = Duration::microseconds(100);
+  Engine server(network, make_address(0, 100), cost);
+  server.define("inc", [](const Address&, const datamodel::Node& args) {
+    datamodel::Node reply;
+    reply["v"].set(args.fetch_existing("value").as_int64() + 1);
+    return reply;
+  });
+
+  std::vector<std::unique_ptr<Engine>> clients;
+  int correct = 0;
+  for (int i = 0; i < 20; ++i) {
+    clients.push_back(
+        std::make_unique<Engine>(network, make_address(i % 5 + 1, 200 + i)));
+    clients.back()->call(server.address(), "inc", make_payload(i),
+                         [&, i](datamodel::Node reply) {
+                           if (reply.fetch_existing("v").as_int64() == i + 1) {
+                             ++correct;
+                           }
+                         });
+  }
+  simulation.run();
+  EXPECT_EQ(correct, 20);
+  EXPECT_EQ(server.stats().requests_handled, 20u);
+}
+
+}  // namespace
+}  // namespace soma::net

@@ -1,0 +1,224 @@
+// Unit tests for the discrete-event simulation engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/simulation.hpp"
+
+namespace soma::sim {
+namespace {
+
+TEST(SimulationTest, StartsAtZero) {
+  Simulation simulation;
+  EXPECT_EQ(simulation.now(), SimTime::zero());
+  EXPECT_EQ(simulation.pending(), 0u);
+}
+
+TEST(SimulationTest, RunsEventsInTimeOrder) {
+  Simulation simulation;
+  std::vector<int> order;
+  simulation.schedule(Duration::seconds(3.0), [&] { order.push_back(3); });
+  simulation.schedule(Duration::seconds(1.0), [&] { order.push_back(1); });
+  simulation.schedule(Duration::seconds(2.0), [&] { order.push_back(2); });
+  simulation.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(simulation.now().to_seconds(), 3.0);
+}
+
+TEST(SimulationTest, TieBrokenByScheduleOrder) {
+  Simulation simulation;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simulation.schedule(Duration::seconds(1.0), [&, i] { order.push_back(i); });
+  }
+  simulation.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulationTest, ClockAdvancesOnlyAtDispatch) {
+  Simulation simulation;
+  SimTime seen;
+  simulation.schedule(Duration::seconds(5.0),
+                      [&] { seen = simulation.now(); });
+  EXPECT_EQ(simulation.now(), SimTime::zero());
+  simulation.run();
+  EXPECT_DOUBLE_EQ(seen.to_seconds(), 5.0);
+}
+
+TEST(SimulationTest, NestedScheduling) {
+  Simulation simulation;
+  std::vector<double> times;
+  simulation.schedule(Duration::seconds(1.0), [&] {
+    times.push_back(simulation.now().to_seconds());
+    simulation.schedule(Duration::seconds(1.0), [&] {
+      times.push_back(simulation.now().to_seconds());
+    });
+  });
+  simulation.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(SimulationTest, ScheduleAtAbsoluteTime) {
+  Simulation simulation;
+  double fired = -1.0;
+  simulation.schedule_at(SimTime::from_seconds(7.0),
+                         [&] { fired = simulation.now().to_seconds(); });
+  simulation.run();
+  EXPECT_DOUBLE_EQ(fired, 7.0);
+}
+
+TEST(SimulationTest, SchedulingIntoThePastThrows) {
+  Simulation simulation;
+  simulation.schedule(Duration::seconds(5.0), [] {});
+  simulation.run();
+  EXPECT_THROW(simulation.schedule_at(SimTime::from_seconds(1.0), [] {}),
+               InternalError);
+  EXPECT_THROW(simulation.schedule(Duration::seconds(-1.0), [] {}),
+               InternalError);
+}
+
+TEST(SimulationTest, CancelPreventsDispatch) {
+  Simulation simulation;
+  bool fired = false;
+  EventHandle handle =
+      simulation.schedule(Duration::seconds(1.0), [&] { fired = true; });
+  handle.cancel();
+  simulation.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, CancelAfterFireIsNoop) {
+  Simulation simulation;
+  int count = 0;
+  EventHandle handle =
+      simulation.schedule(Duration::seconds(1.0), [&] { ++count; });
+  simulation.run();
+  handle.cancel();  // must not crash or re-fire
+  simulation.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SimulationTest, CancelledEventDoesNotAdvanceClock) {
+  Simulation simulation;
+  EventHandle handle = simulation.schedule(Duration::seconds(100.0), [] {});
+  simulation.schedule(Duration::seconds(1.0), [] {});
+  handle.cancel();
+  simulation.run();
+  EXPECT_DOUBLE_EQ(simulation.now().to_seconds(), 1.0);
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundary) {
+  Simulation simulation;
+  std::vector<double> fired;
+  for (int i = 1; i <= 5; ++i) {
+    simulation.schedule(Duration::seconds(i), [&, i] {
+      fired.push_back(static_cast<double>(i));
+    });
+  }
+  simulation.run_until(SimTime::from_seconds(3.0));
+  EXPECT_EQ(fired.size(), 3u);  // events at 1, 2, 3 (inclusive)
+  EXPECT_DOUBLE_EQ(simulation.now().to_seconds(), 3.0);
+  simulation.run();
+  EXPECT_EQ(fired.size(), 5u);
+}
+
+TEST(SimulationTest, StepReturnsFalseWhenEmpty) {
+  Simulation simulation;
+  EXPECT_FALSE(simulation.step());
+  simulation.schedule(Duration::seconds(1.0), [] {});
+  EXPECT_TRUE(simulation.step());
+  EXPECT_FALSE(simulation.step());
+}
+
+TEST(SimulationTest, DispatchCounter) {
+  Simulation simulation;
+  for (int i = 0; i < 5; ++i) simulation.schedule(Duration::seconds(i + 1), [] {});
+  simulation.run();
+  EXPECT_EQ(simulation.events_dispatched(), 5u);
+}
+
+// ---------- PeriodicTask ----------
+
+TEST(PeriodicTaskTest, TicksAtPeriod) {
+  Simulation simulation;
+  std::vector<double> ticks;
+  PeriodicTask task(simulation, Duration::seconds(10.0), [&] {
+    ticks.push_back(simulation.now().to_seconds());
+  });
+  task.start();
+  simulation.run_until(SimTime::from_seconds(35.0));
+  // First tick at 0 (no initial delay), then 10, 20, 30.
+  ASSERT_EQ(ticks.size(), 4u);
+  EXPECT_DOUBLE_EQ(ticks[0], 0.0);
+  EXPECT_DOUBLE_EQ(ticks[3], 30.0);
+}
+
+TEST(PeriodicTaskTest, InitialDelay) {
+  Simulation simulation;
+  std::vector<double> ticks;
+  PeriodicTask task(simulation, Duration::seconds(10.0), [&] {
+    ticks.push_back(simulation.now().to_seconds());
+  });
+  task.start(Duration::seconds(5.0));
+  simulation.run_until(SimTime::from_seconds(26.0));
+  ASSERT_EQ(ticks.size(), 3u);
+  EXPECT_DOUBLE_EQ(ticks[0], 5.0);
+  EXPECT_DOUBLE_EQ(ticks[1], 15.0);
+}
+
+TEST(PeriodicTaskTest, StopHaltsTicks) {
+  Simulation simulation;
+  int count = 0;
+  PeriodicTask task(simulation, Duration::seconds(1.0), [&] { ++count; });
+  task.start();
+  simulation.schedule(Duration::seconds(4.5), [&] { task.stop(); });
+  simulation.run_until(SimTime::from_seconds(100.0));
+  EXPECT_EQ(count, 5);  // ticks at 0,1,2,3,4
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTaskTest, StopFromInsideTick) {
+  Simulation simulation;
+  int count = 0;
+  PeriodicTask task(simulation, Duration::seconds(1.0), [&] {
+    if (++count == 3) task.stop();
+  });
+  task.start();
+  simulation.run_until(SimTime::from_seconds(100.0));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTaskTest, DestructionCancelsPendingTick) {
+  Simulation simulation;
+  int count = 0;
+  {
+    PeriodicTask task(simulation, Duration::seconds(1.0), [&] { ++count; });
+    task.start(Duration::seconds(1.0));
+  }  // destroyed with a tick still queued
+  simulation.run();
+  EXPECT_EQ(count, 0);
+}
+
+TEST(PeriodicTaskTest, RestartAfterStop) {
+  Simulation simulation;
+  int count = 0;
+  PeriodicTask task(simulation, Duration::seconds(1.0), [&] { ++count; });
+  task.start();
+  simulation.run_until(SimTime::from_seconds(2.5));
+  task.stop();
+  task.start(Duration::seconds(1.0));
+  simulation.run_until(SimTime::from_seconds(4.6));
+  EXPECT_EQ(count, 5);  // 0,1,2 then 3.5,4.5
+}
+
+TEST(PeriodicTaskTest, ZeroPeriodRejected) {
+  Simulation simulation;
+  EXPECT_THROW(PeriodicTask(simulation, Duration::zero(), [] {}),
+               InternalError);
+}
+
+}  // namespace
+}  // namespace soma::sim

@@ -1,0 +1,127 @@
+// soma_inspect — post-mortem inspection of an exported SOMA store.
+//
+// Reads a JSON-lines file produced by core::export_store (see the
+// md_figure_of_merit example or your own workflow) and prints what an
+// operator wants to know after a run: per-namespace volumes, workflow
+// progress, per-host utilization, host anomalies, and — when the workflow
+// namespace carries task events — observed task starts.
+//
+// Usage:
+//   soma_inspect <store.jsonl> [--progress] [--hosts] [--starts] [--json]
+// With no flags, prints everything.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/advisor.hpp"
+#include "analysis/anomaly.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "soma/export.hpp"
+
+using namespace soma;
+
+namespace {
+
+void print_volumes(const core::DataStore& store) {
+  std::printf("\n== namespace volumes ==\n");
+  TextTable table({"namespace", "records", "sources", "bytes"});
+  for (core::Namespace ns : core::kAllNamespaces) {
+    table.add_row({std::string(core::to_string(ns)),
+                   std::to_string(store.record_count(ns)),
+                   std::to_string(store.sources(ns).size()),
+                   std::to_string(store.ingested_bytes(ns))});
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+void print_progress(const core::DataStore& store) {
+  const auto progress = analysis::workflow_progress(store);
+  if (progress.empty()) {
+    std::printf("\n== workflow progress == (no workflow summaries)\n");
+    return;
+  }
+  std::printf("\n== workflow progress ==\n");
+  TextTable table({"t (s)", "pending", "executing", "done", "thr/min"});
+  for (const auto& point : progress) {
+    table.add_row({format_seconds(point.time.to_seconds(), 0),
+                   std::to_string(point.pending),
+                   std::to_string(point.executing),
+                   std::to_string(point.done),
+                   format_seconds(point.throughput_per_min, 1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+void print_hosts(const core::DataStore& store) {
+  const auto report = analysis::analyze_hardware(store);
+  if (report.nodes.empty()) {
+    std::printf("\n== hosts == (no hardware records)\n");
+    return;
+  }
+  std::printf("\n== hosts ==\n");
+  TextTable table({"host", "mean util", "last util", "free RAM (MiB)"});
+  for (const auto& node : report.nodes) {
+    table.add_row({node.hostname, format_seconds(node.mean_utilization, 3),
+                   format_seconds(node.last_utilization, 3),
+                   std::to_string(node.available_ram_mib)});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  const auto anomalies = analysis::detect_host_anomalies(report);
+  for (const auto& anomaly : anomalies) {
+    std::printf("  ANOMALY: %s mean utilization %.1f%% (z=%.1f)\n",
+                anomaly.hostname.c_str(), anomaly.utilization * 100.0,
+                anomaly.robust_z);
+  }
+}
+
+void print_starts(const core::DataStore& store) {
+  const auto starts = analysis::observed_task_starts(store);
+  std::printf("\n== observed task starts (%zu) ==\n", starts.size());
+  for (const auto& [time, uid] : starts) {
+    std::printf("  %10.1fs  %s\n", time.to_seconds(), uid.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <store.jsonl> [--progress] [--hosts] [--starts]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  core::DataStore store;
+  std::size_t loaded = 0;
+  try {
+    loaded = core::import_store_from_file(store, argv[1]);
+  } catch (const soma::Error& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  std::printf("loaded %zu records from %s\n", loaded, argv[1]);
+
+  bool any_flag = false;
+  bool want_progress = false, want_hosts = false, want_starts = false;
+  for (int i = 2; i < argc; ++i) {
+    any_flag = true;
+    if (std::strcmp(argv[i], "--progress") == 0) want_progress = true;
+    else if (std::strcmp(argv[i], "--hosts") == 0) want_hosts = true;
+    else if (std::strcmp(argv[i], "--starts") == 0) want_starts = true;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (!any_flag) want_progress = want_hosts = want_starts = true;
+
+  print_volumes(store);
+  if (want_progress) print_progress(store);
+  if (want_hosts) print_hosts(store);
+  if (want_starts) print_starts(store);
+  return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_placement_policy.dir/bench/bench_ablation_placement_policy.cpp.o"
+  "CMakeFiles/bench_ablation_placement_policy.dir/bench/bench_ablation_placement_policy.cpp.o.d"
+  "bench/bench_ablation_placement_policy"
+  "bench/bench_ablation_placement_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_placement_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

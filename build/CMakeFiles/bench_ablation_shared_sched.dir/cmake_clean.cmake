@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shared_sched.dir/bench/bench_ablation_shared_sched.cpp.o"
+  "CMakeFiles/bench_ablation_shared_sched.dir/bench/bench_ablation_shared_sched.cpp.o.d"
+  "bench/bench_ablation_shared_sched"
+  "bench/bench_ablation_shared_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shared_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

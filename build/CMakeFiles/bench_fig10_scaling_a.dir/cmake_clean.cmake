@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_scaling_a.dir/bench/bench_fig10_scaling_a.cpp.o"
+  "CMakeFiles/bench_fig10_scaling_a.dir/bench/bench_fig10_scaling_a.cpp.o.d"
+  "bench/bench_fig10_scaling_a"
+  "bench/bench_fig10_scaling_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_scaling_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_scaling_b.dir/bench/bench_fig11_scaling_b.cpp.o"
+  "CMakeFiles/bench_fig11_scaling_b.dir/bench/bench_fig11_scaling_b.cpp.o.d"
+  "bench/bench_fig11_scaling_b"
+  "bench/bench_fig11_scaling_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_scaling_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_openfoam_scaling.dir/bench/bench_fig4_openfoam_scaling.cpp.o"
+  "CMakeFiles/bench_fig4_openfoam_scaling.dir/bench/bench_fig4_openfoam_scaling.cpp.o.d"
+  "bench/bench_fig4_openfoam_scaling"
+  "bench/bench_fig4_openfoam_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_openfoam_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

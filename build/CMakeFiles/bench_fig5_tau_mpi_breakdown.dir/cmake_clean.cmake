@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_tau_mpi_breakdown.dir/bench/bench_fig5_tau_mpi_breakdown.cpp.o"
+  "CMakeFiles/bench_fig5_tau_mpi_breakdown.dir/bench/bench_fig5_tau_mpi_breakdown.cpp.o.d"
+  "bench/bench_fig5_tau_mpi_breakdown"
+  "bench/bench_fig5_tau_mpi_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_tau_mpi_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_rank_placement.dir/bench/bench_fig6_rank_placement.cpp.o"
+  "CMakeFiles/bench_fig6_rank_placement.dir/bench/bench_fig6_rank_placement.cpp.o.d"
+  "bench/bench_fig6_rank_placement"
+  "bench/bench_fig6_rank_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_rank_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_cpu_utilization.dir/bench/bench_fig7_cpu_utilization.cpp.o"
+  "CMakeFiles/bench_fig7_cpu_utilization.dir/bench/bench_fig7_cpu_utilization.cpp.o.d"
+  "bench/bench_fig7_cpu_utilization"
+  "bench/bench_fig7_cpu_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_cpu_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

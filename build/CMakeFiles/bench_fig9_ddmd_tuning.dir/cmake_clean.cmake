@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_ddmd_tuning.dir/bench/bench_fig9_ddmd_tuning.cpp.o"
+  "CMakeFiles/bench_fig9_ddmd_tuning.dir/bench/bench_fig9_ddmd_tuning.cpp.o.d"
+  "bench/bench_fig9_ddmd_tuning"
+  "bench/bench_fig9_ddmd_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_ddmd_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

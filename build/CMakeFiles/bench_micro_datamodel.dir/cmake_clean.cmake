@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_datamodel.dir/bench/bench_micro_datamodel.cpp.o"
+  "CMakeFiles/bench_micro_datamodel.dir/bench/bench_micro_datamodel.cpp.o.d"
+  "bench/bench_micro_datamodel"
+  "bench/bench_micro_datamodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_datamodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_rpc.cpp" "CMakeFiles/bench_micro_rpc.dir/bench/bench_micro_rpc.cpp.o" "gcc" "CMakeFiles/bench_micro_rpc.dir/bench/bench_micro_rpc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/soma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/datamodel/CMakeFiles/soma_datamodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/soma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

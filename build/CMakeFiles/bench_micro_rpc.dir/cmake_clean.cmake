@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_rpc.dir/bench/bench_micro_rpc.cpp.o"
+  "CMakeFiles/bench_micro_rpc.dir/bench/bench_micro_rpc.cpp.o.d"
+  "bench/bench_micro_rpc"
+  "bench/bench_micro_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_analysis.dir/bench/bench_overhead_analysis.cpp.o"
+  "CMakeFiles/bench_overhead_analysis.dir/bench/bench_overhead_analysis.cpp.o.d"
+  "bench/bench_overhead_analysis"
+  "bench/bench_overhead_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

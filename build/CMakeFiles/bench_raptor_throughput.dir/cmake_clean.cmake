@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_raptor_throughput.dir/bench/bench_raptor_throughput.cpp.o"
+  "CMakeFiles/bench_raptor_throughput.dir/bench/bench_raptor_throughput.cpp.o.d"
+  "bench/bench_raptor_throughput"
+  "bench/bench_raptor_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_raptor_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

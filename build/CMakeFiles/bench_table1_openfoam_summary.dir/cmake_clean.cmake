@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_openfoam_summary.dir/bench/bench_table1_openfoam_summary.cpp.o"
+  "CMakeFiles/bench_table1_openfoam_summary.dir/bench/bench_table1_openfoam_summary.cpp.o.d"
+  "bench/bench_table1_openfoam_summary"
+  "bench/bench_table1_openfoam_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_openfoam_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_feedback.dir/adaptive_feedback.cpp.o"
+  "CMakeFiles/adaptive_feedback.dir/adaptive_feedback.cpp.o.d"
+  "adaptive_feedback"
+  "adaptive_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

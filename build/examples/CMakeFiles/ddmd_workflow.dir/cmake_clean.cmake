@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddmd_workflow.dir/ddmd_workflow.cpp.o"
+  "CMakeFiles/ddmd_workflow.dir/ddmd_workflow.cpp.o.d"
+  "ddmd_workflow"
+  "ddmd_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddmd_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

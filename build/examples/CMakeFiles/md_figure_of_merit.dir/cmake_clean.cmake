@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_figure_of_merit.dir/md_figure_of_merit.cpp.o"
+  "CMakeFiles/md_figure_of_merit.dir/md_figure_of_merit.cpp.o.d"
+  "md_figure_of_merit"
+  "md_figure_of_merit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_figure_of_merit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for md_figure_of_merit.
+# This may be replaced when dependencies are built.

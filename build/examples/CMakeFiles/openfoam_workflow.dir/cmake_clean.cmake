@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openfoam_workflow.dir/openfoam_workflow.cpp.o"
+  "CMakeFiles/openfoam_workflow.dir/openfoam_workflow.cpp.o.d"
+  "openfoam_workflow"
+  "openfoam_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openfoam_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

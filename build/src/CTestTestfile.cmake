@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("datamodel")
+subdirs("comm")
+subdirs("net")
+subdirs("cluster")
+subdirs("batch")
+subdirs("rp")
+subdirs("entk")
+subdirs("raptor")
+subdirs("soma")
+subdirs("workloads")
+subdirs("profiler")
+subdirs("monitors")
+subdirs("analysis")
+subdirs("experiments")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soma_analysis.dir/advisor.cpp.o"
+  "CMakeFiles/soma_analysis.dir/advisor.cpp.o.d"
+  "CMakeFiles/soma_analysis.dir/anomaly.cpp.o"
+  "CMakeFiles/soma_analysis.dir/anomaly.cpp.o.d"
+  "CMakeFiles/soma_analysis.dir/timeline.cpp.o"
+  "CMakeFiles/soma_analysis.dir/timeline.cpp.o.d"
+  "libsoma_analysis.a"
+  "libsoma_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soma_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

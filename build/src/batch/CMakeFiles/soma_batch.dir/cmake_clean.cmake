@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soma_batch.dir/batch.cpp.o"
+  "CMakeFiles/soma_batch.dir/batch.cpp.o.d"
+  "libsoma_batch.a"
+  "libsoma_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soma_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soma_cluster.dir/platform.cpp.o"
+  "CMakeFiles/soma_cluster.dir/platform.cpp.o.d"
+  "CMakeFiles/soma_cluster.dir/proc.cpp.o"
+  "CMakeFiles/soma_cluster.dir/proc.cpp.o.d"
+  "libsoma_cluster.a"
+  "libsoma_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soma_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

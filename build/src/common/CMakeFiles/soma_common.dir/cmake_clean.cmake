@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soma_common.dir/log.cpp.o"
+  "CMakeFiles/soma_common.dir/log.cpp.o.d"
+  "CMakeFiles/soma_common.dir/rng.cpp.o"
+  "CMakeFiles/soma_common.dir/rng.cpp.o.d"
+  "CMakeFiles/soma_common.dir/stats.cpp.o"
+  "CMakeFiles/soma_common.dir/stats.cpp.o.d"
+  "CMakeFiles/soma_common.dir/table.cpp.o"
+  "CMakeFiles/soma_common.dir/table.cpp.o.d"
+  "CMakeFiles/soma_common.dir/types.cpp.o"
+  "CMakeFiles/soma_common.dir/types.cpp.o.d"
+  "libsoma_common.a"
+  "libsoma_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soma_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

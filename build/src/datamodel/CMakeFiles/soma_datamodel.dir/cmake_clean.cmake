@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soma_datamodel.dir/json.cpp.o"
+  "CMakeFiles/soma_datamodel.dir/json.cpp.o.d"
+  "CMakeFiles/soma_datamodel.dir/node.cpp.o"
+  "CMakeFiles/soma_datamodel.dir/node.cpp.o.d"
+  "libsoma_datamodel.a"
+  "libsoma_datamodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soma_datamodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soma_entk.dir/entk.cpp.o"
+  "CMakeFiles/soma_entk.dir/entk.cpp.o.d"
+  "libsoma_entk.a"
+  "libsoma_entk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soma_entk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

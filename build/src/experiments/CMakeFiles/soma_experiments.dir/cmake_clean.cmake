@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soma_experiments.dir/ddmd_experiment.cpp.o"
+  "CMakeFiles/soma_experiments.dir/ddmd_experiment.cpp.o.d"
+  "CMakeFiles/soma_experiments.dir/deployment.cpp.o"
+  "CMakeFiles/soma_experiments.dir/deployment.cpp.o.d"
+  "CMakeFiles/soma_experiments.dir/openfoam_experiment.cpp.o"
+  "CMakeFiles/soma_experiments.dir/openfoam_experiment.cpp.o.d"
+  "libsoma_experiments.a"
+  "libsoma_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soma_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

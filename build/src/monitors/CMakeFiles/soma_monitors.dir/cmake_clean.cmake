@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soma_monitors.dir/hw_monitor.cpp.o"
+  "CMakeFiles/soma_monitors.dir/hw_monitor.cpp.o.d"
+  "CMakeFiles/soma_monitors.dir/rp_monitor.cpp.o"
+  "CMakeFiles/soma_monitors.dir/rp_monitor.cpp.o.d"
+  "libsoma_monitors.a"
+  "libsoma_monitors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soma_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soma_net.dir/network.cpp.o"
+  "CMakeFiles/soma_net.dir/network.cpp.o.d"
+  "CMakeFiles/soma_net.dir/rpc.cpp.o"
+  "CMakeFiles/soma_net.dir/rpc.cpp.o.d"
+  "libsoma_net.a"
+  "libsoma_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soma_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

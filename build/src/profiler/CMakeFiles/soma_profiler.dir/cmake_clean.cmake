@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soma_profiler.dir/tau.cpp.o"
+  "CMakeFiles/soma_profiler.dir/tau.cpp.o.d"
+  "libsoma_profiler.a"
+  "libsoma_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soma_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

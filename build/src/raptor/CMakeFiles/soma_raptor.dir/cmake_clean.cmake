@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soma_raptor.dir/raptor.cpp.o"
+  "CMakeFiles/soma_raptor.dir/raptor.cpp.o.d"
+  "libsoma_raptor.a"
+  "libsoma_raptor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soma_raptor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for soma_raptor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rp/executor.cpp" "src/rp/CMakeFiles/soma_rp.dir/executor.cpp.o" "gcc" "src/rp/CMakeFiles/soma_rp.dir/executor.cpp.o.d"
+  "/root/repo/src/rp/profile.cpp" "src/rp/CMakeFiles/soma_rp.dir/profile.cpp.o" "gcc" "src/rp/CMakeFiles/soma_rp.dir/profile.cpp.o.d"
+  "/root/repo/src/rp/scheduler.cpp" "src/rp/CMakeFiles/soma_rp.dir/scheduler.cpp.o" "gcc" "src/rp/CMakeFiles/soma_rp.dir/scheduler.cpp.o.d"
+  "/root/repo/src/rp/session.cpp" "src/rp/CMakeFiles/soma_rp.dir/session.cpp.o" "gcc" "src/rp/CMakeFiles/soma_rp.dir/session.cpp.o.d"
+  "/root/repo/src/rp/states.cpp" "src/rp/CMakeFiles/soma_rp.dir/states.cpp.o" "gcc" "src/rp/CMakeFiles/soma_rp.dir/states.cpp.o.d"
+  "/root/repo/src/rp/task.cpp" "src/rp/CMakeFiles/soma_rp.dir/task.cpp.o" "gcc" "src/rp/CMakeFiles/soma_rp.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/soma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/soma_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/batch/CMakeFiles/soma_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/datamodel/CMakeFiles/soma_datamodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soma_rp.dir/executor.cpp.o"
+  "CMakeFiles/soma_rp.dir/executor.cpp.o.d"
+  "CMakeFiles/soma_rp.dir/profile.cpp.o"
+  "CMakeFiles/soma_rp.dir/profile.cpp.o.d"
+  "CMakeFiles/soma_rp.dir/scheduler.cpp.o"
+  "CMakeFiles/soma_rp.dir/scheduler.cpp.o.d"
+  "CMakeFiles/soma_rp.dir/session.cpp.o"
+  "CMakeFiles/soma_rp.dir/session.cpp.o.d"
+  "CMakeFiles/soma_rp.dir/states.cpp.o"
+  "CMakeFiles/soma_rp.dir/states.cpp.o.d"
+  "CMakeFiles/soma_rp.dir/task.cpp.o"
+  "CMakeFiles/soma_rp.dir/task.cpp.o.d"
+  "libsoma_rp.a"
+  "libsoma_rp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soma_rp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for soma_rp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soma_sim.dir/simulation.cpp.o"
+  "CMakeFiles/soma_sim.dir/simulation.cpp.o.d"
+  "libsoma_sim.a"
+  "libsoma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soma/app_instrument.cpp" "src/soma/CMakeFiles/soma_core.dir/app_instrument.cpp.o" "gcc" "src/soma/CMakeFiles/soma_core.dir/app_instrument.cpp.o.d"
+  "/root/repo/src/soma/client.cpp" "src/soma/CMakeFiles/soma_core.dir/client.cpp.o" "gcc" "src/soma/CMakeFiles/soma_core.dir/client.cpp.o.d"
+  "/root/repo/src/soma/export.cpp" "src/soma/CMakeFiles/soma_core.dir/export.cpp.o" "gcc" "src/soma/CMakeFiles/soma_core.dir/export.cpp.o.d"
+  "/root/repo/src/soma/namespaces.cpp" "src/soma/CMakeFiles/soma_core.dir/namespaces.cpp.o" "gcc" "src/soma/CMakeFiles/soma_core.dir/namespaces.cpp.o.d"
+  "/root/repo/src/soma/service.cpp" "src/soma/CMakeFiles/soma_core.dir/service.cpp.o" "gcc" "src/soma/CMakeFiles/soma_core.dir/service.cpp.o.d"
+  "/root/repo/src/soma/store.cpp" "src/soma/CMakeFiles/soma_core.dir/store.cpp.o" "gcc" "src/soma/CMakeFiles/soma_core.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/soma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/datamodel/CMakeFiles/soma_datamodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soma_core.dir/app_instrument.cpp.o"
+  "CMakeFiles/soma_core.dir/app_instrument.cpp.o.d"
+  "CMakeFiles/soma_core.dir/client.cpp.o"
+  "CMakeFiles/soma_core.dir/client.cpp.o.d"
+  "CMakeFiles/soma_core.dir/export.cpp.o"
+  "CMakeFiles/soma_core.dir/export.cpp.o.d"
+  "CMakeFiles/soma_core.dir/namespaces.cpp.o"
+  "CMakeFiles/soma_core.dir/namespaces.cpp.o.d"
+  "CMakeFiles/soma_core.dir/service.cpp.o"
+  "CMakeFiles/soma_core.dir/service.cpp.o.d"
+  "CMakeFiles/soma_core.dir/store.cpp.o"
+  "CMakeFiles/soma_core.dir/store.cpp.o.d"
+  "libsoma_core.a"
+  "libsoma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

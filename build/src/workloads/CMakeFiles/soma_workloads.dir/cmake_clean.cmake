@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soma_workloads.dir/ddmd.cpp.o"
+  "CMakeFiles/soma_workloads.dir/ddmd.cpp.o.d"
+  "CMakeFiles/soma_workloads.dir/openfoam.cpp.o"
+  "CMakeFiles/soma_workloads.dir/openfoam.cpp.o.d"
+  "libsoma_workloads.a"
+  "libsoma_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soma_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

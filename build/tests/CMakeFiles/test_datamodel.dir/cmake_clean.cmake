@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datamodel.dir/test_datamodel.cpp.o"
+  "CMakeFiles/test_datamodel.dir/test_datamodel.cpp.o.d"
+  "test_datamodel"
+  "test_datamodel.pdb"
+  "test_datamodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datamodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_entk.dir/test_entk.cpp.o"
+  "CMakeFiles/test_entk.dir/test_entk.cpp.o.d"
+  "test_entk"
+  "test_entk.pdb"
+  "test_entk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_entk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raptor.dir/test_raptor.cpp.o"
+  "CMakeFiles/test_raptor.dir/test_raptor.cpp.o.d"
+  "test_raptor"
+  "test_raptor.pdb"
+  "test_raptor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raptor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

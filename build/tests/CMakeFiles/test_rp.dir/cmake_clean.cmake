@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rp.dir/test_rp.cpp.o"
+  "CMakeFiles/test_rp.dir/test_rp.cpp.o.d"
+  "test_rp"
+  "test_rp.pdb"
+  "test_rp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

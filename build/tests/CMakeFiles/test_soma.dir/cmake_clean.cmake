@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soma.dir/test_soma.cpp.o"
+  "CMakeFiles/test_soma.dir/test_soma.cpp.o.d"
+  "test_soma"
+  "test_soma.pdb"
+  "test_soma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_soma.
+# This may be replaced when dependencies are built.

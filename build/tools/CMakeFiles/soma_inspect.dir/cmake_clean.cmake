@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soma_inspect.dir/soma_inspect.cpp.o"
+  "CMakeFiles/soma_inspect.dir/soma_inspect.cpp.o.d"
+  "soma_inspect"
+  "soma_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soma_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

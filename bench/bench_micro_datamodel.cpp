@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_main.hpp"
 #include "common/rng.hpp"
 #include "datamodel/node.hpp"
 
@@ -100,4 +101,6 @@ BENCHMARK(BM_ToJson);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return soma::bench::run_micro_benchmarks(argc, argv, "micro_datamodel");
+}

@@ -1,0 +1,62 @@
+// Custom google-benchmark main for the micro benches: runs the registered
+// benchmarks with the normal console output AND captures per-benchmark
+// results (ns/op, items/s, bytes/s) into BENCH_micro.json via
+// bench_util.hpp's record_bench_json. Each micro binary records under its
+// own suite key, so the two binaries share one file.
+//
+// Only the bench_micro_* targets include this header — it pulls in
+// <benchmark/benchmark.h>, which the figure benches do not link.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace soma::bench {
+
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      if (run.run_type != Run::RT_Iteration) continue;  // skip aggregates
+      datamodel::Node& entry = results_.child(run.benchmark_name());
+      entry["ns_per_op"].set(run.GetAdjustedRealTime());
+      entry["iterations"].set(static_cast<std::int64_t>(run.iterations));
+      // SetItemsProcessed / SetBytesProcessed surface as rate counters; for
+      // the event-loop benches items/s is events/s.
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        entry["items_per_second"].set(static_cast<double>(items->second));
+      }
+      const auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) {
+        entry["bytes_per_second"].set(static_cast<double>(bytes->second));
+        // bytes/op is the steadier cross-machine number.
+        entry["bytes_per_op"].set(static_cast<double>(bytes->second) *
+                                  run.GetAdjustedRealTime() * 1e-9);
+      }
+    }
+  }
+
+  [[nodiscard]] const datamodel::Node& results() const { return results_; }
+
+ private:
+  datamodel::Node results_;
+};
+
+/// Shared main body: run everything, then record under `suite`.
+inline int run_micro_benchmarks(int argc, char** argv, const char* suite) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  record_bench_json("BENCH_micro.json", suite, reporter.results());
+  return 0;
+}
+
+}  // namespace soma::bench

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_main.hpp"
 #include "net/rpc.hpp"
 #include "sim/simulation.hpp"
 
@@ -78,4 +79,6 @@ BENCHMARK(BM_PeriodicTasks)->Arg(64)->Arg(512);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return soma::bench::run_micro_benchmarks(argc, argv, "micro_rpc");
+}

@@ -1,14 +1,20 @@
 // Shared helpers for the reproduction benches. Every bench prints a header
 // naming the paper artifact it regenerates, the table/series data, and a
-// "paper vs measured" comparison where the paper states numbers.
+// "paper vs measured" comparison where the paper states numbers. Micro
+// benches additionally record machine-readable results via
+// record_bench_json, seeding the perf trajectory across PRs.
 #pragma once
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/types.hpp"
+#include "datamodel/node.hpp"
 
 namespace soma::bench {
 
@@ -38,6 +44,29 @@ inline void paper_vs_measured(const char* what, const std::string& paper,
                               const std::string& measured) {
   std::printf("  paper: %-34s measured: %s  (%s)\n", paper.c_str(),
               measured.c_str(), what);
+}
+
+/// Merge `results` into the JSON document at `path` under key `suite`,
+/// preserving any other suites already recorded there (the two micro benches
+/// share one BENCH_micro.json). Unparseable or missing files start fresh.
+inline void record_bench_json(const std::string& path,
+                              const std::string& suite,
+                              const datamodel::Node& results) {
+  datamodel::Node root;
+  if (std::ifstream in{path}) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      root = datamodel::Node::parse_json(buffer.str());
+    } catch (const Error&) {
+      root.reset();  // corrupt file: rewrite from scratch
+    }
+  }
+  root.child(suite) = results;
+  std::ofstream out(path, std::ios::trunc);
+  out << root.to_json(2) << "\n";
+  std::printf("\nrecorded %zu results under '%s' in %s\n",
+              results.number_of_children(), suite.c_str(), path.c_str());
 }
 
 }  // namespace soma::bench

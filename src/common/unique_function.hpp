@@ -1,0 +1,122 @@
+// Move-only callable wrapper with small-buffer optimization.
+//
+// `std::function` requires copyable targets and, for capture lists beyond a
+// couple of pointers, heap-allocates. The DES hot loop stores one callback
+// per event, so both costs are paid millions of times per run. UniqueFunction
+// accepts move-only targets (so captures can own Nodes, strings, handles
+// without shared_ptr indirection) and stores captures up to `kInlineSize`
+// bytes inline in the event record itself; only oversized captures fall back
+// to one heap allocation.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace soma::common {
+
+template <class Signature>
+class UniqueFunction;  // undefined; only the R(Args...) partial below exists
+
+template <class R, class... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  /// Captures up to this many bytes live inline in the UniqueFunction object
+  /// (sized for the common "this + a couple of values" lambda).
+  static constexpr std::size_t kInlineSize = 48;
+
+  UniqueFunction() = default;
+  UniqueFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Target = std::decay_t<F>;
+    if constexpr (sizeof(Target) <= kInlineSize &&
+                  alignof(Target) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Target>) {
+      ::new (static_cast<void*>(storage_)) Target(std::forward<F>(f));
+      invoke_ = [](void* self, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<Target*>(self)))(
+            std::forward<Args>(args)...);
+      };
+      manage_ = [](void* self, void* dst) {
+        Target* target = std::launder(reinterpret_cast<Target*>(self));
+        if (dst != nullptr) {
+          ::new (dst) Target(std::move(*target));
+        }
+        target->~Target();
+      };
+    } else {
+      // Oversized capture: one owning heap cell, moved by pointer swap.
+      auto* cell = new Target(std::forward<F>(f));
+      ::new (static_cast<void*>(storage_)) Target*(cell);
+      invoke_ = [](void* self, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<Target**>(self)))(
+            std::forward<Args>(args)...);
+      };
+      manage_ = [](void* self, void* dst) {
+        Target** slot = std::launder(reinterpret_cast<Target**>(self));
+        if (dst != nullptr) {
+          ::new (dst) Target*(*slot);
+        } else {
+          delete *slot;
+        }
+      };
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { move_from(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { destroy(); }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    check(invoke_ != nullptr, "UniqueFunction: called while empty");
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  using InvokeFn = R (*)(void*, Args&&...);
+  /// dst == nullptr: destroy target. dst != nullptr: move-construct the
+  /// target into dst, then destroy the source.
+  using ManageFn = void (*)(void* self, void* dst);
+
+  void destroy() {
+    if (manage_ != nullptr) manage_(storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  void move_from(UniqueFunction& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (other.manage_ != nullptr) other.manage_(other.storage_, storage_);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace soma::common

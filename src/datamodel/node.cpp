@@ -1,5 +1,6 @@
 #include "datamodel/node.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <sstream>
@@ -58,31 +59,34 @@ enum class Tag : std::uint8_t {
   kFloat64Array = 6,
 };
 
-void put_u8(std::vector<std::byte>& out, std::uint8_t v) {
-  out.push_back(static_cast<std::byte>(v));
-}
+// Raw little-endian stores into a pre-sized buffer (pack() resizes once to
+// the exact packed_size, then writes through a bare pointer — no per-byte
+// capacity checks).
 
-void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+std::byte* store_u32(std::byte* p, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
   }
+  return p + 4;
 }
 
-void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+std::byte* store_u64(std::byte* p, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
   }
+  return p + 8;
 }
 
-void put_f64(std::vector<std::byte>& out, double v) {
+std::byte* store_f64(std::byte* p, double v) {
   std::uint64_t bits;
   std::memcpy(&bits, &v, sizeof(bits));
-  put_u64(out, bits);
+  return store_u64(p, bits);
 }
 
-void put_string(std::vector<std::byte>& out, const std::string& s) {
-  put_u32(out, static_cast<std::uint32_t>(s.size()));
-  for (char c : s) out.push_back(static_cast<std::byte>(c));
+std::byte* store_string(std::byte* p, const std::string& s) {
+  p = store_u32(p, static_cast<std::uint32_t>(s.size()));
+  std::memcpy(p, s.data(), s.size());
+  return p + s.size();
 }
 
 class Reader {
@@ -162,6 +166,29 @@ Node& Node::operator=(const Node& other) {
     child_names_.push_back(other.child_names_[i]);
     child_index_.emplace(other.child_names_[i], i);
   }
+  packed_size_cache_ = other.packed_size_cache_;
+  return *this;
+}
+
+Node::Node(Node&& other) noexcept
+    : value_(std::move(other.value_)),
+      children_(std::move(other.children_)),
+      child_names_(std::move(other.child_names_)),
+      child_index_(std::move(other.child_index_)),
+      packed_size_cache_(other.packed_size_cache_) {
+  // The moved-from node is valid-but-unspecified; its stale cache must not
+  // survive into any later reuse.
+  other.packed_size_cache_ = kSizeNotCached;
+}
+
+Node& Node::operator=(Node&& other) noexcept {
+  if (this == &other) return *this;
+  value_ = std::move(other.value_);
+  children_ = std::move(other.children_);
+  child_names_ = std::move(other.child_names_);
+  child_index_ = std::move(other.child_index_);
+  packed_size_cache_ = other.packed_size_cache_;
+  other.packed_size_cache_ = kSizeNotCached;
   return *this;
 }
 
@@ -182,6 +209,7 @@ void Node::clear_children() {
   children_.clear();
   child_names_.clear();
   child_index_.clear();
+  invalidate_size();
 }
 
 void Node::reset() {
@@ -248,6 +276,7 @@ Node& Node::child(std::string_view name) {
   children_.push_back(std::make_unique<Node>());
   child_names_.emplace_back(name);
   child_index_.emplace(std::string(name), children_.size() - 1);
+  invalidate_size();
   return *children_.back();
 }
 
@@ -260,6 +289,8 @@ const Node* Node::find_child(std::string_view name) const {
 Node* Node::find_child(std::string_view name) {
   const auto it = child_index_.find(std::string(name));
   if (it == child_index_.end()) return nullptr;
+  // The caller may mutate through the returned reference.
+  invalidate_size();
   return children_[it->second].get();
 }
 
@@ -296,6 +327,7 @@ bool Node::has_path(std::string_view path) const {
 bool Node::remove_child(std::string_view name) {
   const auto it = child_index_.find(std::string(name));
   if (it == child_index_.end()) return false;
+  invalidate_size();
   const std::size_t index = it->second;
   children_.erase(children_.begin() + static_cast<std::ptrdiff_t>(index));
   child_names_.erase(child_names_.begin() +
@@ -315,6 +347,7 @@ const Node& Node::child_at(std::size_t index) const {
 
 Node& Node::child_at(std::size_t index) {
   check(index < children_.size(), "child_at: index out of range");
+  invalidate_size();
   return *children_[index];
 }
 
@@ -347,6 +380,7 @@ std::size_t Node::leaf_count() const {
 }
 
 std::size_t Node::packed_size() const {
+  if (packed_size_cache_ != kSizeNotCached) return packed_size_cache_;
   std::size_t total = 1;  // tag
   switch (type()) {
     case Type::kEmpty:
@@ -371,6 +405,7 @@ std::size_t Node::packed_size() const {
       total += 4 + 8 * as_float64_array().size();
       break;
   }
+  packed_size_cache_ = total;
   return total;
 }
 
@@ -442,51 +477,62 @@ std::string Node::to_json(int indent) const {
   return out.str();
 }
 
-void Node::pack(std::vector<std::byte>& out) const {
+std::byte* Node::pack_into(std::byte* p) const {
   switch (type()) {
     case Type::kEmpty:
-      put_u8(out, static_cast<std::uint8_t>(Tag::kEmpty));
+      *p++ = static_cast<std::byte>(Tag::kEmpty);
       break;
     case Type::kObject:
-      put_u8(out, static_cast<std::uint8_t>(Tag::kObject));
-      put_u32(out, static_cast<std::uint32_t>(children_.size()));
+      *p++ = static_cast<std::byte>(Tag::kObject);
+      p = store_u32(p, static_cast<std::uint32_t>(children_.size()));
       for (std::size_t i = 0; i < children_.size(); ++i) {
-        put_string(out, child_names_[i]);
-        children_[i]->pack(out);
+        p = store_string(p, child_names_[i]);
+        p = children_[i]->pack_into(p);
       }
       break;
     case Type::kInt64:
-      put_u8(out, static_cast<std::uint8_t>(Tag::kInt64));
-      put_u64(out, static_cast<std::uint64_t>(as_int64()));
+      *p++ = static_cast<std::byte>(Tag::kInt64);
+      p = store_u64(p, static_cast<std::uint64_t>(as_int64()));
       break;
     case Type::kFloat64:
-      put_u8(out, static_cast<std::uint8_t>(Tag::kFloat64));
-      put_f64(out, as_float64());
+      *p++ = static_cast<std::byte>(Tag::kFloat64);
+      p = store_f64(p, as_float64());
       break;
     case Type::kString:
-      put_u8(out, static_cast<std::uint8_t>(Tag::kString));
-      put_string(out, as_string());
+      *p++ = static_cast<std::byte>(Tag::kString);
+      p = store_string(p, as_string());
       break;
     case Type::kInt64Array: {
-      put_u8(out, static_cast<std::uint8_t>(Tag::kInt64Array));
+      *p++ = static_cast<std::byte>(Tag::kInt64Array);
       const auto& values = as_int64_array();
-      put_u32(out, static_cast<std::uint32_t>(values.size()));
-      for (std::int64_t v : values) put_u64(out, static_cast<std::uint64_t>(v));
+      p = store_u32(p, static_cast<std::uint32_t>(values.size()));
+      for (std::int64_t v : values) {
+        p = store_u64(p, static_cast<std::uint64_t>(v));
+      }
       break;
     }
     case Type::kFloat64Array: {
-      put_u8(out, static_cast<std::uint8_t>(Tag::kFloat64Array));
+      *p++ = static_cast<std::byte>(Tag::kFloat64Array);
       const auto& values = as_float64_array();
-      put_u32(out, static_cast<std::uint32_t>(values.size()));
-      for (double v : values) put_f64(out, v);
+      p = store_u32(p, static_cast<std::uint32_t>(values.size()));
+      for (double v : values) p = store_f64(p, v);
       break;
     }
   }
+  return p;
+}
+
+void Node::pack(std::vector<std::byte>& out) const {
+  const std::size_t size = packed_size();
+  const std::size_t base = out.size();
+  out.resize(base + size);
+  std::byte* end = pack_into(out.data() + base);
+  check(end == out.data() + base + size,
+        "Node::pack: packed_size out of sync with encoder");
 }
 
 std::vector<std::byte> Node::pack() const {
   std::vector<std::byte> out;
-  out.reserve(packed_size());
   pack(out);
   return out;
 }
@@ -500,6 +546,14 @@ Node Node::unpack_one(std::span<const std::byte> buffer,
       break;
     case Tag::kObject: {
       const std::uint32_t n = reader.u32();
+      // Child count is known up front; a bounded reserve avoids rehash and
+      // regrowth churn while staying safe against hostile counts.
+      const std::uint32_t plausible =
+          std::min<std::uint32_t>(n, static_cast<std::uint32_t>(std::min<
+                                         std::size_t>(buffer.size(), 1u << 20)));
+      node.children_.reserve(plausible);
+      node.child_names_.reserve(plausible);
+      node.child_index_.reserve(plausible);
       for (std::uint32_t i = 0; i < n; ++i) {
         std::string name = reader.string();
         node.child(name) = unpack_one(buffer, offset);

@@ -37,9 +37,9 @@ class Node {
 
   Node() = default;
   Node(const Node& other);
-  Node(Node&&) noexcept = default;
+  Node(Node&& other) noexcept;
   Node& operator=(const Node& other);
-  Node& operator=(Node&&) noexcept = default;
+  Node& operator=(Node&& other) noexcept;
   ~Node() = default;
 
   // ---- type ----
@@ -116,7 +116,13 @@ class Node {
   // ---- introspection ----
   /// Total number of leaf values in the subtree.
   [[nodiscard]] std::size_t leaf_count() const;
-  /// Approximate serialized size in bytes (matches pack() exactly).
+  /// Serialized size in bytes (matches pack() exactly). Memoized: the first
+  /// call walks the subtree, repeat calls are O(1) until the node is mutated.
+  /// Any non-const child access (child(), operator[], fetch(), mutable
+  /// find_child()/child_at()) conservatively invalidates this node's cache,
+  /// since the caller may mutate through the returned reference. Unsupported:
+  /// holding a mutable child pointer across a packed_size() call on an
+  /// ancestor and mutating through it afterwards.
   [[nodiscard]] std::size_t packed_size() const;
 
   // ---- serialization ----
@@ -139,8 +145,14 @@ class Node {
   using Value = std::variant<std::monostate, std::int64_t, double, std::string,
                              std::vector<std::int64_t>, std::vector<double>>;
 
+  static constexpr std::size_t kSizeNotCached = ~std::size_t{0};
+
   void clear_value() { value_ = std::monostate{}; }
   void clear_children();
+  void invalidate_size() { packed_size_cache_ = kSizeNotCached; }
+  /// Write this subtree's pack() encoding at `p` (which must have
+  /// packed_size() bytes of room); returns one past the last byte written.
+  std::byte* pack_into(std::byte* p) const;
   static Node unpack_one(std::span<const std::byte> buffer,
                          std::size_t& offset);
 
@@ -149,6 +161,7 @@ class Node {
   std::vector<std::unique_ptr<Node>> children_;
   std::vector<std::string> child_names_;
   std::unordered_map<std::string, std::size_t> child_index_;
+  mutable std::size_t packed_size_cache_ = kSizeNotCached;
 };
 
 /// Human-readable name of a node type ("int64", "object", ...).

@@ -4,19 +4,21 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "net/wire.hpp"
 
 namespace soma::net {
 namespace {
 
-// Message envelope carried over the fabric. kind: 0 = request, 1 = response.
-datamodel::Node make_envelope(std::int64_t kind, std::uint64_t request_id,
-                              const std::string& rpc, datamodel::Node body) {
-  datamodel::Node envelope;
-  envelope["kind"].set(kind);
-  envelope["id"].set(static_cast<std::int64_t>(request_id));
-  if (!rpc.empty()) envelope["rpc"].set(rpc);
-  envelope["body"] = std::move(body);
-  return envelope;
+// Encode one frame: header + body packed straight behind it. One allocation,
+// exactly frame_size bytes; no envelope tree on either side of the wire.
+std::vector<std::byte> encode_frame(wire::Kind kind, std::uint64_t request_id,
+                                    std::string_view rpc,
+                                    const datamodel::Node& body) {
+  std::vector<std::byte> frame;
+  frame.reserve(wire::frame_size(kind, rpc.size(), body.packed_size()));
+  wire::append_header(frame, kind, request_id, rpc);
+  body.pack(frame);
+  return frame;
 }
 
 }  // namespace
@@ -42,34 +44,27 @@ void Engine::call(const Address& dest, const std::string& rpc,
   const std::uint64_t id = next_request_id_++;
   if (on_response) pending_.emplace(id, std::move(on_response));
 
-  datamodel::Node envelope = make_envelope(0, id, rpc, std::move(args));
-  std::vector<std::byte> wire = envelope.pack();
-  stats_.bytes_out += wire.size();
+  std::vector<std::byte> frame =
+      encode_frame(wire::Kind::kRequest, id, rpc, args);
+  stats_.bytes_out += frame.size();
   ++stats_.requests_sent;
-  network_.send(address_, dest, std::move(wire));
+  network_.send(address_, dest, std::move(frame));
 }
 
 void Engine::on_message(const Address& from, std::vector<std::byte> payload) {
   const std::size_t payload_bytes = payload.size();
-  datamodel::Node envelope = datamodel::Node::unpack(payload);
-  const std::int64_t kind = envelope.fetch_existing("kind").as_int64();
-  const auto request_id =
-      static_cast<std::uint64_t>(envelope.fetch_existing("id").as_int64());
+  const wire::FrameHeader header = wire::decode_header(payload);
 
-  if (kind == 0) {
-    const std::string rpc = envelope.fetch_existing("rpc").as_string();
-    datamodel::Node body;
-    if (auto* b = envelope.find_child("body")) body = std::move(*b);
-    handle_request(from, request_id, rpc, std::move(body), payload_bytes);
+  if (header.kind == wire::Kind::kRequest) {
+    handle_request(from, header.request_id, std::string(header.rpc),
+                   datamodel::Node::unpack(header.body), payload_bytes);
   } else {
     ++stats_.responses_received;
-    const auto it = pending_.find(request_id);
-    if (it == pending_.end()) return;  // fire-and-forget ack
+    const auto it = pending_.find(header.request_id);
+    if (it == pending_.end()) return;  // fire-and-forget ack: body never read
     ResponseCallback callback = std::move(it->second);
     pending_.erase(it);
-    datamodel::Node body;
-    if (auto* b = envelope.find_child("body")) body = std::move(*b);
-    callback(std::move(body));
+    callback(datamodel::Node::unpack(header.body));
   }
 }
 
@@ -105,11 +100,10 @@ void Engine::handle_request(const Address& from, std::uint64_t request_id,
                       << "'";
           response["error"].set("unknown rpc: " + rpc);
         }
-        datamodel::Node envelope =
-            make_envelope(1, request_id, "", std::move(response));
-        std::vector<std::byte> wire = envelope.pack();
-        stats_.bytes_out += wire.size();
-        network_.send(address_, from, std::move(wire));
+        std::vector<std::byte> frame =
+            encode_frame(wire::Kind::kResponse, request_id, {}, response);
+        stats_.bytes_out += frame.size();
+        network_.send(address_, from, std::move(frame));
       });
 }
 

@@ -1,0 +1,85 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace soma::net::wire {
+namespace {
+
+constexpr std::byte kMagic[4] = {std::byte{'S'}, std::byte{'O'},
+                                 std::byte{'M'}, std::byte{'1'}};
+
+void put_u32(std::byte* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+  }
+}
+
+void put_u64(std::byte* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+  }
+}
+
+std::uint32_t get_u32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const std::byte* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void append_header(std::vector<std::byte>& out, Kind kind, std::uint64_t id,
+                   std::string_view rpc) {
+  const std::size_t header = kFixedHeaderBytes + rpc.size() +
+                             reserved_bytes(kind);
+  const std::size_t base = out.size();
+  out.resize(base + header);  // reserved region zero-filled by resize
+  std::byte* p = out.data() + base;
+  std::memcpy(p, kMagic, sizeof(kMagic));
+  p[4] = static_cast<std::byte>(kind);
+  put_u64(p + 5, id);
+  put_u32(p + 13, static_cast<std::uint32_t>(rpc.size()));
+  if (!rpc.empty()) std::memcpy(p + kFixedHeaderBytes, rpc.data(), rpc.size());
+}
+
+FrameHeader decode_header(std::span<const std::byte> frame) {
+  if (frame.size() < kFixedHeaderBytes) {
+    throw soma::LookupError("wire: truncated frame header");
+  }
+  const std::byte* p = frame.data();
+  if (std::memcmp(p, kMagic, sizeof(kMagic)) != 0) {
+    throw soma::LookupError("wire: bad frame magic");
+  }
+  const auto raw_kind = static_cast<std::uint8_t>(p[4]);
+  if (raw_kind > static_cast<std::uint8_t>(Kind::kResponse)) {
+    throw soma::LookupError("wire: unknown frame kind");
+  }
+  const Kind kind{raw_kind};
+  const std::uint64_t id = get_u64(p + 5);
+  const std::uint32_t rpc_len = get_u32(p + 13);
+  const std::size_t body_offset =
+      kFixedHeaderBytes + rpc_len + reserved_bytes(kind);
+  if (rpc_len > frame.size() - kFixedHeaderBytes ||
+      body_offset > frame.size()) {
+    throw soma::LookupError("wire: truncated frame");
+  }
+  return FrameHeader{
+      kind, id,
+      std::string_view(reinterpret_cast<const char*>(p + kFixedHeaderBytes),
+                       rpc_len),
+      frame.subspan(body_offset)};
+}
+
+}  // namespace soma::net::wire

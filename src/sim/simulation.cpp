@@ -3,7 +3,31 @@
 namespace soma::sim {
 
 void EventHandle::cancel() {
-  if (cancelled_) *cancelled_ = true;
+  if (simulation_ != nullptr) simulation_->cancel_event(slot_, generation_);
+}
+
+bool EventHandle::valid() const {
+  return simulation_ != nullptr && simulation_->event_pending(slot_,
+                                                              generation_);
+}
+
+std::uint32_t Simulation::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot].pending = true;
+    return slot;
+  }
+  slots_.push_back(Slot{0, true});
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulation::release_slot(std::uint32_t slot) {
+  // Bumping the generation here invalidates every outstanding handle to the
+  // finished occupancy before the slot is handed out again.
+  ++slots_[slot].generation;
+  slots_[slot].pending = false;
+  free_slots_.push_back(slot);
 }
 
 EventHandle Simulation::schedule(Duration delay, Callback fn) {
@@ -13,9 +37,10 @@ EventHandle Simulation::schedule(Duration delay, Callback fn) {
 
 EventHandle Simulation::schedule_at(SimTime when, Callback fn) {
   check(when >= now_, "cannot schedule into the past");
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
-  return EventHandle{std::move(cancelled)};
+  const std::uint32_t slot = acquire_slot();
+  const std::uint64_t generation = slots_[slot].generation;
+  queue_.push(Event{when, next_seq_++, std::move(fn), slot, generation});
+  return EventHandle{this, slot, generation};
 }
 
 void Simulation::dispatch_front() {
@@ -23,14 +48,25 @@ void Simulation::dispatch_front() {
   // because the element is popped immediately after.
   Event event = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
-  if (*event.cancelled) return;
+  // The event is no longer pending the moment it fires; its handle goes
+  // stale before the callback runs so valid() is false inside the callback.
+  release_slot(event.slot);
   now_ = event.when;
   ++dispatched_;
   event.fn();
 }
 
+void Simulation::discard_cancelled_front() {
+  while (!queue_.empty()) {
+    const Event& front = queue_.top();
+    if (slots_[front.slot].pending) return;
+    release_slot(front.slot);
+    queue_.pop();
+  }
+}
+
 bool Simulation::step() {
-  while (!queue_.empty() && *queue_.top().cancelled) queue_.pop();
+  discard_cancelled_front();
   if (queue_.empty()) return false;
   dispatch_front();
   return true;
@@ -44,7 +80,7 @@ SimTime Simulation::run() {
 
 SimTime Simulation::run_until(SimTime until) {
   while (true) {
-    while (!queue_.empty() && *queue_.top().cancelled) queue_.pop();
+    discard_cancelled_front();
     if (queue_.empty()) return now_;
     if (queue_.top().when > until) {
       now_ = until;

@@ -5,6 +5,14 @@
 // queue. Events scheduled for the same instant are dispatched in scheduling
 // order (a monotonically increasing sequence number breaks ties), which makes
 // whole-workflow runs bit-for-bit reproducible for a given seed.
+//
+// Hot-loop design: an event is {when, seq, callback, slot}. Callbacks are
+// move-only small-buffer functions (common::UniqueFunction), so a typical
+// capture lives inside the event record instead of behind a std::function
+// heap cell. Cancellation is generation-counted: each event borrows a slot
+// from a free-listed table, and an EventHandle is just {slot, generation}.
+// A cancelled or fired event bumps nothing but a couple of integers — no
+// shared_ptr<bool> control block per event.
 #pragma once
 
 #include <cstdint>
@@ -15,11 +23,17 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "common/unique_function.hpp"
 
 namespace soma::sim {
 
+class Simulation;
+
 /// Handle to a scheduled event; allows cancellation (e.g. a periodic monitor
-/// being shut down at workflow completion).
+/// being shut down at workflow completion) and pending-state queries.
+///
+/// A handle is a weak reference: it never keeps the event alive and it must
+/// not outlive the Simulation that issued it.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -28,19 +42,26 @@ class EventHandle {
   /// after the event has fired (no-op).
   void cancel();
 
-  [[nodiscard]] bool valid() const { return cancelled_ != nullptr; }
+  /// True while the referenced event is still pending (scheduled, not yet
+  /// fired and not cancelled). A default-constructed handle, a fired event,
+  /// and a cancelled event all report false.
+  [[nodiscard]] bool valid() const;
 
  private:
   friend class Simulation;
-  explicit EventHandle(std::shared_ptr<bool> cancelled)
-      : cancelled_(std::move(cancelled)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(Simulation* simulation, std::uint32_t slot,
+              std::uint64_t generation)
+      : simulation_(simulation), slot_(slot), generation_(generation) {}
+
+  Simulation* simulation_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 /// The event loop and simulated clock.
 class Simulation {
  public:
-  using Callback = std::function<void()>;
+  using Callback = common::UniqueFunction<void()>;
 
   Simulation() = default;
   Simulation(const Simulation&) = delete;
@@ -75,11 +96,14 @@ class Simulation {
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
  private:
+  friend class EventHandle;
+
   struct Event {
     SimTime when;
     std::uint64_t seq;
     Callback fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
+    std::uint64_t generation;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -87,14 +111,41 @@ class Simulation {
       return a.seq > b.seq;
     }
   };
+  /// One cancellation slot. `generation` increments every time the slot is
+  /// recycled, so handles from a previous occupancy go stale automatically;
+  /// `pending` flips false on cancel and on dispatch.
+  struct Slot {
+    std::uint64_t generation = 0;
+    bool pending = false;
+  };
 
-  /// Pop and execute the front event. Precondition: queue not empty.
+  [[nodiscard]] bool event_pending(std::uint32_t slot,
+                                   std::uint64_t generation) const {
+    return slot < slots_.size() && slots_[slot].generation == generation &&
+           slots_[slot].pending;
+  }
+  void cancel_event(std::uint32_t slot, std::uint64_t generation) {
+    if (event_pending(slot, generation)) slots_[slot].pending = false;
+  }
+
+  std::uint32_t acquire_slot();
+  /// Retire the slot of a popped event (fired or discarded-as-cancelled).
+  /// The 1:1 event-to-slot mapping guarantees no queue entry references the
+  /// slot after its event is popped.
+  void release_slot(std::uint32_t slot);
+
+  /// Pop and execute the front event. Precondition: queue not empty and the
+  /// front event is live (not cancelled).
   void dispatch_front();
+  /// Pop cancelled events off the front, retiring their slots.
+  void discard_cancelled_front();
 
   SimTime now_{};
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 /// Convenience owner for repeating activities: reschedules itself every

@@ -39,10 +39,18 @@ std::vector<const TimedRecord*> DataStore::range(Namespace ns,
                                                  const std::string& source,
                                                  SimTime from,
                                                  SimTime to) const {
+  // Series are appended at service-ingest time, so they are sorted by time;
+  // binary-search both ends instead of scanning the whole series.
+  const auto& records = series(ns, source);
+  const auto first = std::lower_bound(
+      records.begin(), records.end(), from,
+      [](const TimedRecord& record, SimTime t) { return record.time < t; });
+  const auto last = std::upper_bound(
+      first, records.end(), to,
+      [](SimTime t, const TimedRecord& record) { return t < record.time; });
   std::vector<const TimedRecord*> out;
-  for (const auto& record : series(ns, source)) {
-    if (record.time >= from && record.time <= to) out.push_back(&record);
-  }
+  out.reserve(static_cast<std::size_t>(last - first));
+  for (auto it = first; it != last; ++it) out.push_back(&*it);
   return out;
 }
 

@@ -1,13 +1,18 @@
-// Unit tests for src/common: time types, RNG, statistics, tables.
+// Unit tests for src/common: time types, RNG, statistics, tables, callables.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <memory>
 #include <set>
+#include <utility>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/types.hpp"
+#include "common/unique_function.hpp"
 
 namespace soma {
 namespace {
@@ -285,6 +290,87 @@ TEST(TableTest, AsciiBar) {
   EXPECT_EQ(ascii_bar(200.0, 100.0, 10), "##########");  // clamped
   EXPECT_EQ(ascii_bar(0.0, 100.0, 10), "");
   EXPECT_EQ(ascii_bar(50.0, 0.0, 10), "");
+}
+
+// ---------- UniqueFunction ----------
+
+TEST(UniqueFunctionTest, EmptyAndBool) {
+  common::UniqueFunction<void()> fn;
+  EXPECT_FALSE(fn);
+  EXPECT_THROW(fn(), InternalError);
+  fn = [] {};
+  EXPECT_TRUE(fn);
+}
+
+TEST(UniqueFunctionTest, InvokesWithArgsAndResult) {
+  common::UniqueFunction<int(int, int)> add = [](int a, int b) {
+    return a + b;
+  };
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(UniqueFunctionTest, AcceptsMoveOnlyCapture) {
+  auto owned = std::make_unique<int>(42);
+  common::UniqueFunction<int()> fn = [owned = std::move(owned)] {
+    return *owned;
+  };
+  EXPECT_EQ(fn(), 42);
+}
+
+TEST(UniqueFunctionTest, MoveTransfersTargetAndEmptiesSource) {
+  int calls = 0;
+  common::UniqueFunction<void()> a = [&calls] { ++calls; };
+  common::UniqueFunction<void()> b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is empty
+  EXPECT_TRUE(b);
+  b();
+  EXPECT_EQ(calls, 1);
+
+  common::UniqueFunction<void()> c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(UniqueFunctionTest, OversizedCaptureUsesHeapPathCorrectly) {
+  // A capture larger than kInlineSize exercises the heap fallback; the
+  // shared_ptr tracks that the target is destroyed exactly once.
+  auto tracker = std::make_shared<int>(7);
+  std::weak_ptr<int> weak = tracker;
+  std::array<char, 128> big{};
+  big[0] = 'x';
+  {
+    common::UniqueFunction<int()> fn = [tracker, big] {
+      return *tracker + (big[0] == 'x' ? 1 : 0);
+    };
+    tracker.reset();
+    common::UniqueFunction<int()> moved = std::move(fn);
+    EXPECT_EQ(moved(), 8);
+    EXPECT_FALSE(weak.expired());
+  }
+  EXPECT_TRUE(weak.expired());
+}
+
+TEST(UniqueFunctionTest, InlineCaptureDestroyedExactlyOnce) {
+  auto tracker = std::make_shared<int>(1);
+  std::weak_ptr<int> weak = tracker;
+  {
+    common::UniqueFunction<void()> fn = [tracker] { (void)tracker; };
+    tracker.reset();
+    common::UniqueFunction<void()> moved = std::move(fn);
+    EXPECT_FALSE(weak.expired());
+  }
+  EXPECT_TRUE(weak.expired());
+}
+
+TEST(UniqueFunctionTest, AssignmentReplacesExistingTarget) {
+  auto first = std::make_shared<int>(1);
+  std::weak_ptr<int> weak = first;
+  common::UniqueFunction<int()> fn = [first] { return *first; };
+  first.reset();
+  fn = [] { return 99; };  // must destroy the previous capture
+  EXPECT_TRUE(weak.expired());
+  EXPECT_EQ(fn(), 99);
 }
 
 }  // namespace

@@ -283,6 +283,50 @@ TEST(NodeSerdeTest, PackedSizeMatchesPack) {
   EXPECT_EQ(node.pack().size(), node.packed_size());
 }
 
+TEST(NodeSerdeTest, PackedSizeCacheTracksMutation) {
+  // packed_size() is memoized; every mutation path must invalidate the cache
+  // so the memoized value never disagrees with the actual encoding.
+  Node node;
+  node.fetch("a/b").set(std::int64_t{1});
+  EXPECT_EQ(node.packed_size(), node.pack().size());  // prime the cache
+
+  node.fetch("a/b").set("a much longer string value");  // resize a leaf
+  EXPECT_EQ(node.packed_size(), node.pack().size());
+
+  node.fetch("c/d").set(3.5);  // add a subtree
+  EXPECT_EQ(node.packed_size(), node.pack().size());
+
+  node["a"]["b"].set(std::vector<std::int64_t>{1, 2, 3});  // via operator[]
+  EXPECT_EQ(node.packed_size(), node.pack().size());
+
+  node.find_child("a")->remove_child("b");  // via mutable find_child
+  EXPECT_EQ(node.packed_size(), node.pack().size());
+
+  node.remove_child("c");
+  EXPECT_EQ(node.packed_size(), node.pack().size());
+
+  node.reset();
+  EXPECT_EQ(node.packed_size(), node.pack().size());
+}
+
+TEST(NodeSerdeTest, PackedSizeCacheSurvivesCopyAndMove) {
+  Node node;
+  node.fetch("a").set("payload");
+  const std::size_t size = node.packed_size();  // prime the cache
+
+  Node copy = node;
+  EXPECT_EQ(copy.packed_size(), size);
+  copy.fetch("b").set(std::int64_t{2});
+  EXPECT_EQ(copy.packed_size(), copy.pack().size());
+  EXPECT_EQ(node.packed_size(), size);  // source untouched by copy's mutation
+
+  Node moved = std::move(node);
+  EXPECT_EQ(moved.packed_size(), size);
+  // The moved-from node is reusable and must not report the stale size.
+  node.fetch("x").set(std::int64_t{1});
+  EXPECT_EQ(node.packed_size(), node.pack().size());
+}
+
 TEST(NodeSerdeTest, TruncatedBufferThrows) {
   Node node;
   node.fetch("a/b").set("payload");

@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "net/network.hpp"
 #include "net/rpc.hpp"
+#include "net/wire.hpp"
 #include "sim/simulation.hpp"
 
 namespace soma::net {
@@ -114,6 +116,150 @@ TEST_F(NetworkTest, Accounting) {
                std::vector<std::byte>(50));
   EXPECT_EQ(network.messages_sent(), 2u);
   EXPECT_EQ(network.bytes_sent(), 150u);
+}
+
+// ---------- Wire format ----------
+
+std::vector<std::byte> encode_frame(wire::Kind kind, std::uint64_t id,
+                                    std::string_view rpc,
+                                    const datamodel::Node& body) {
+  std::vector<std::byte> frame;
+  frame.reserve(wire::frame_size(kind, rpc.size(), body.packed_size()));
+  wire::append_header(frame, kind, id, rpc);
+  body.pack(frame);
+  return frame;
+}
+
+TEST(WireTest, RequestHeaderRoundTrip) {
+  datamodel::Node body;
+  body["value"].set(std::int64_t{42});
+  body["name"].set("publish");
+  const auto frame =
+      encode_frame(wire::Kind::kRequest, 0xDEADBEEFCAFEULL, "soma.push", body);
+
+  const wire::FrameHeader header = wire::decode_header(frame);
+  EXPECT_EQ(header.kind, wire::Kind::kRequest);
+  EXPECT_EQ(header.request_id, 0xDEADBEEFCAFEULL);
+  EXPECT_EQ(header.rpc, "soma.push");
+  const datamodel::Node back = datamodel::Node::unpack(header.body);
+  EXPECT_EQ(back.fetch_existing("value").as_int64(), 42);
+  EXPECT_EQ(back.fetch_existing("name").as_string(), "publish");
+}
+
+TEST(WireTest, ResponseHeaderRoundTrip) {
+  datamodel::Node body;
+  body["ok"].set(std::int64_t{1});
+  const auto frame = encode_frame(wire::Kind::kResponse, 7, {}, body);
+
+  const wire::FrameHeader header = wire::decode_header(frame);
+  EXPECT_EQ(header.kind, wire::Kind::kResponse);
+  EXPECT_EQ(header.request_id, 7u);
+  EXPECT_TRUE(header.rpc.empty());
+  EXPECT_EQ(datamodel::Node::unpack(header.body).fetch_existing("ok").as_int64(),
+            1);
+}
+
+TEST(WireTest, FrameSizeMatchesLegacyEnvelopeBytes) {
+  // The figure benches are calibrated on the legacy envelope byte counts:
+  // 57 + rpc_len + body for requests, 45 + body for responses. The framed
+  // format must occupy exactly the same number of simulated bytes.
+  datamodel::Node body;
+  body["stat"].set(std::vector<std::int64_t>{1, 2, 3, 4, 5, 6});
+  const std::size_t body_bytes = body.packed_size();
+  const std::string rpc = "soma.publish";
+
+  const auto request = encode_frame(wire::Kind::kRequest, 1, rpc, body);
+  EXPECT_EQ(request.size(), 57u + rpc.size() + body_bytes);
+  EXPECT_EQ(request.size(),
+            wire::frame_size(wire::Kind::kRequest, rpc.size(), body_bytes));
+
+  const auto response = encode_frame(wire::Kind::kResponse, 1, {}, body);
+  EXPECT_EQ(response.size(), 45u + body_bytes);
+  EXPECT_EQ(response.size(),
+            wire::frame_size(wire::Kind::kResponse, 0, body_bytes));
+}
+
+TEST(WireTest, TruncatedFramesThrow) {
+  datamodel::Node body;
+  body["value"].set(std::int64_t{9});
+  const auto frame = encode_frame(wire::Kind::kRequest, 3, "echo", body);
+  // Any strict header prefix must be rejected; truncating into the body is
+  // caught by Node::unpack downstream, not by decode_header.
+  const std::size_t header_bytes = wire::kFixedHeaderBytes + 4;  // + rpc len
+  for (std::size_t n = 0; n < header_bytes; ++n) {
+    EXPECT_THROW((void)wire::decode_header(
+                     std::span<const std::byte>(frame.data(), n)),
+                 LookupError)
+        << "prefix of " << n << " bytes accepted";
+  }
+}
+
+TEST(WireTest, BadMagicThrows) {
+  datamodel::Node body;
+  auto frame = encode_frame(wire::Kind::kRequest, 3, "echo", body);
+  frame[0] = std::byte{'X'};
+  EXPECT_THROW((void)wire::decode_header(frame), LookupError);
+}
+
+TEST(WireTest, UnknownKindThrows) {
+  datamodel::Node body;
+  auto frame = encode_frame(wire::Kind::kRequest, 3, "echo", body);
+  frame[4] = std::byte{2};  // kind field: only 0 and 1 are defined
+  EXPECT_THROW((void)wire::decode_header(frame), LookupError);
+}
+
+TEST(WireTest, OversizedRpcLengthThrows) {
+  datamodel::Node body;
+  auto frame = encode_frame(wire::Kind::kRequest, 3, "echo", body);
+  // Corrupt the rpc length to point past the end of the frame.
+  frame[13] = std::byte{0xFF};
+  frame[14] = std::byte{0xFF};
+  frame[15] = std::byte{0xFF};
+  frame[16] = std::byte{0xFF};
+  EXPECT_THROW((void)wire::decode_header(frame), LookupError);
+}
+
+TEST(WireTest, RandomGarbageNeverCrashes) {
+  // decode_header on arbitrary bytes must either succeed or throw — never
+  // read out of bounds. (Run under ASan/UBSan in CI via SOMA_SANITIZE.)
+  Rng rng(2024);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::byte> junk(rng.uniform_index(64));
+    for (auto& b : junk) {
+      b = static_cast<std::byte>(rng.uniform_index(256));
+    }
+    try {
+      (void)wire::decode_header(junk);
+    } catch (const LookupError&) {
+      // expected for almost all inputs
+    }
+  }
+}
+
+TEST(WireTest, RandomBodiesRoundTrip) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    datamodel::Node body;
+    const int leaves = static_cast<int>(rng.uniform_index(8));
+    for (int i = 0; i < leaves; ++i) {
+      body["leaf" + std::to_string(i)].set(
+          static_cast<std::int64_t>(rng.next_u64() >> 1));
+    }
+    const std::uint64_t id = rng.next_u64();
+    const auto kind =
+        rng.uniform_index(2) == 0 ? wire::Kind::kRequest : wire::Kind::kResponse;
+    const std::string rpc =
+        kind == wire::Kind::kRequest
+            ? std::string(rng.uniform_index(24), 'r')
+            : std::string{};
+
+    const auto frame = encode_frame(kind, id, rpc, body);
+    const wire::FrameHeader header = wire::decode_header(frame);
+    ASSERT_EQ(header.kind, kind);
+    ASSERT_EQ(header.request_id, id);
+    ASSERT_EQ(header.rpc, rpc);
+    ASSERT_TRUE(datamodel::Node::unpack(header.body) == body);
+  }
 }
 
 // ---------- RPC engine ----------

@@ -3,8 +3,11 @@
 // randomized scenarios through the whole stack.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "common/rng.hpp"
 #include "experiments/ddmd_experiment.hpp"
+#include "experiments/deployment.hpp"
 #include "rp/session.hpp"
 
 namespace soma {
@@ -159,6 +162,90 @@ TEST_P(DeterminismProperty, DifferentSeedsDiffer) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismProperty, ::testing::Values(1, 7));
+
+// ---------- golden scenario ----------
+
+struct GoldenOutcome {
+  std::uint64_t events_dispatched = 0;
+  std::int64_t final_nanos = 0;
+  std::uint64_t publishes = 0;
+  std::uint64_t net_messages = 0;
+  std::uint64_t net_bytes = 0;
+};
+
+/// A fixed quickstart-style scenario: summit(3), seed 42, exclusive SOMA
+/// deployment with 10 s monitors, six fixed-duration tasks.
+GoldenOutcome run_golden_scenario() {
+  rp::SessionConfig session_config;
+  session_config.platform = cluster::summit(3);
+  session_config.pilot.nodes = 3;
+  session_config.seed = 42;
+  rp::Session session(session_config);
+
+  std::unique_ptr<experiments::SomaDeployment> deployment;
+  int outstanding = 0;
+
+  session.add_task_completion_listener(
+      [&](const std::shared_ptr<rp::Task>& task) {
+        if (task->description().kind != rp::TaskKind::kApplication) return;
+        if (--outstanding == 0) {
+          deployment->shutdown();
+          session.finalize();
+        }
+      });
+
+  session.start([&] {
+    experiments::DeploymentConfig config;
+    config.mode = experiments::SomaMode::kExclusive;
+    config.service_nodes = session.agent_node_ids();
+    config.rp_monitor.period = Duration::seconds(10.0);
+    config.hw_monitor.period = Duration::seconds(10.0);
+    deployment = std::make_unique<experiments::SomaDeployment>(session, config);
+    deployment->deploy([&] {
+      for (int i = 0; i < 6; ++i) {
+        rp::TaskDescription desc;
+        desc.uid = "det." + std::to_string(i);
+        desc.ranks = 8 + 8 * (i % 3);
+        desc.cores_per_rank = 1;
+        desc.fixed_duration = Duration::seconds(30.0 + 10.0 * i);
+        ++outstanding;
+        session.submit(desc);
+      }
+    });
+  });
+
+  GoldenOutcome outcome;
+  outcome.final_nanos = session.run().nanos();
+  outcome.events_dispatched = session.simulation().events_dispatched();
+  outcome.publishes = deployment->service().publishes_received();
+  outcome.net_messages = session.network().messages_sent();
+  outcome.net_bytes = session.network().bytes_sent();
+  return outcome;
+}
+
+// Hard-coded goldens captured from the pre-refactor envelope/shared_ptr
+// implementation. The zero-copy wire path and the generation-slot event
+// queue are pure host-side optimizations: a drift in ANY of these numbers
+// means simulated behavior changed (event ordering, message count, or the
+// modeled frame bytes) and is a bug, not an expected churn.
+TEST(GoldenScenarioTest, MatchesSeedImplementation) {
+  const GoldenOutcome outcome = run_golden_scenario();
+  EXPECT_EQ(outcome.events_dispatched, 293u);
+  EXPECT_EQ(outcome.final_nanos, 145036156368);
+  EXPECT_EQ(outcome.publishes, 52u);
+  EXPECT_EQ(outcome.net_messages, 104u);
+  EXPECT_EQ(outcome.net_bytes, 127395u);
+}
+
+TEST(GoldenScenarioTest, RunToRunIdentical) {
+  const GoldenOutcome a = run_golden_scenario();
+  const GoldenOutcome b = run_golden_scenario();
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_EQ(a.final_nanos, b.final_nanos);
+  EXPECT_EQ(a.publishes, b.publishes);
+  EXPECT_EQ(a.net_messages, b.net_messages);
+  EXPECT_EQ(a.net_bytes, b.net_bytes);
+}
 
 // ---------- monitoring completeness ----------
 

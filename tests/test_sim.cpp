@@ -140,6 +140,69 @@ TEST(SimulationTest, DispatchCounter) {
   EXPECT_EQ(simulation.events_dispatched(), 5u);
 }
 
+// ---------- EventHandle validity (generation-slot semantics) ----------
+
+TEST(EventHandleTest, DefaultHandleIsInvalid) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.valid());
+  handle.cancel();  // must be a safe no-op
+}
+
+TEST(EventHandleTest, ValidWhilePendingInvalidAfterFire) {
+  Simulation simulation;
+  EventHandle handle = simulation.schedule(Duration::seconds(1.0), [] {});
+  EXPECT_TRUE(handle.valid());
+  simulation.run();
+  EXPECT_FALSE(handle.valid());
+}
+
+TEST(EventHandleTest, InvalidAfterCancel) {
+  Simulation simulation;
+  EventHandle handle = simulation.schedule(Duration::seconds(1.0), [] {});
+  handle.cancel();
+  EXPECT_FALSE(handle.valid());
+  simulation.run();
+  EXPECT_FALSE(handle.valid());
+}
+
+TEST(EventHandleTest, InvalidInsideOwnCallback) {
+  Simulation simulation;
+  EventHandle handle;
+  bool seen_valid = true;
+  handle = simulation.schedule(Duration::seconds(1.0),
+                               [&] { seen_valid = handle.valid(); });
+  simulation.run();
+  EXPECT_FALSE(seen_valid);
+}
+
+TEST(EventHandleTest, StaleHandleDoesNotTouchRecycledSlot) {
+  Simulation simulation;
+  EventHandle old_handle = simulation.schedule(Duration::seconds(1.0), [] {});
+  simulation.run();  // old event fires; its slot is recycled below
+  bool fired = false;
+  EventHandle new_handle =
+      simulation.schedule(Duration::seconds(1.0), [&] { fired = true; });
+  EXPECT_FALSE(old_handle.valid());
+  old_handle.cancel();  // stale generation: must not cancel the new event
+  EXPECT_TRUE(new_handle.valid());
+  simulation.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventHandleTest, CancelledEventSlotIsRecycledLazily) {
+  Simulation simulation;
+  // Cancel ahead of a live event; the cancelled entry is discarded (and its
+  // slot retired) when it reaches the queue front.
+  EventHandle cancelled = simulation.schedule(Duration::seconds(1.0), [] {});
+  int fired = 0;
+  simulation.schedule(Duration::seconds(2.0), [&] { ++fired; });
+  cancelled.cancel();
+  EXPECT_EQ(simulation.pending(), 2u);  // cancelled entry still queued
+  simulation.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(simulation.events_dispatched(), 1u);
+}
+
 // ---------- PeriodicTask ----------
 
 TEST(PeriodicTaskTest, TicksAtPeriod) {

@@ -71,6 +71,45 @@ TEST(DataStoreTest, RangeQuery) {
   EXPECT_EQ(in_range.back()->time, SimTime::from_seconds(4.0));
 }
 
+TEST(DataStoreTest, RangeBoundaries) {
+  DataStore store;
+
+  // Unknown source / empty store.
+  EXPECT_TRUE(store
+                  .range(Namespace::kWorkflow, "missing", SimTime::zero(),
+                         SimTime::from_seconds(10.0))
+                  .empty());
+
+  // Single record: inclusive on both ends.
+  store.append(Namespace::kWorkflow, "m", SimTime::from_seconds(5.0),
+               value_node(5.0));
+  const auto exact = store.range(Namespace::kWorkflow, "m",
+                                 SimTime::from_seconds(5.0),
+                                 SimTime::from_seconds(5.0));
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_EQ(exact.front()->time, SimTime::from_seconds(5.0));
+  EXPECT_TRUE(store
+                  .range(Namespace::kWorkflow, "m", SimTime::zero(),
+                         SimTime::from_seconds(4.0))
+                  .empty());
+  EXPECT_TRUE(store
+                  .range(Namespace::kWorkflow, "m", SimTime::from_seconds(6.0),
+                         SimTime::from_seconds(10.0))
+                  .empty());
+
+  // from == to between records selects nothing; an inverted window is empty.
+  store.append(Namespace::kWorkflow, "m", SimTime::from_seconds(7.0),
+               value_node(7.0));
+  EXPECT_TRUE(store
+                  .range(Namespace::kWorkflow, "m", SimTime::from_seconds(6.0),
+                         SimTime::from_seconds(6.0))
+                  .empty());
+  EXPECT_TRUE(store
+                  .range(Namespace::kWorkflow, "m", SimTime::from_seconds(7.0),
+                         SimTime::from_seconds(5.0))
+                  .empty());
+}
+
 TEST(DataStoreTest, SourcesSorted) {
   DataStore store;
   store.append(Namespace::kHardware, "cn0003", SimTime::zero(), {});

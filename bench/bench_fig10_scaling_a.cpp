@@ -6,15 +6,30 @@
 // shared configuration but reduces execution time for many pipelines, and
 // "the ratio of SOMA ranks to pipelines does not have much effect".
 
+#include <cstdlib>
+#include <cstring>
+
 #include "bench_util.hpp"
 #include "experiments/ddmd_experiment.hpp"
 
 using namespace soma;
 using namespace soma::experiments;
 
-int main() {
+int main(int argc, char** argv) {
   bench::header("Figure 10",
                 "DDMD Scaling A: 64 pipelines, SOMA rank ratio x shared/excl");
+
+  // `--fault-seed N` reruns the sweep on a lossy fabric (1% drops, 2% latency
+  // spikes) with client retry + buffer-and-replay enabled. Without the flag
+  // the fabric is perfect and the output is byte-identical to earlier builds.
+  std::uint64_t fault_seed = 0;
+  bool faults_enabled = false;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--fault-seed") == 0) {
+      fault_seed = std::strtoull(argv[i + 1], nullptr, 10);
+      faults_enabled = true;
+    }
+  }
 
   struct Row {
     int soma_nodes;
@@ -24,12 +39,30 @@ int main() {
   };
   std::vector<Row> rows;
 
+  std::uint64_t net_drops = 0, rpc_retries = 0, publish_failures = 0;
+  std::uint64_t replayed = 0, failovers = 0;
+
   // Table 2, Scaling A: SOMA nodes {1,2,4} with ranks/namespace {16,32,64}.
   const std::vector<std::pair<int, int>> setups = {{1, 16}, {2, 32}, {4, 64}};
   for (const auto& [nodes, ranks] : setups) {
     for (SomaMode mode : {SomaMode::kExclusive, SomaMode::kShared}) {
       auto config = DdmdExperimentConfig::scaling_a(nodes, ranks, mode);
+      if (faults_enabled) {
+        config.faults.enabled = true;
+        config.faults.fault_seed = fault_seed;
+        config.faults.drop_probability = 0.01;
+        config.faults.spike_probability = 0.02;
+        config.reliability.retry.max_attempts = 4;
+        config.reliability.retry.timeout = Duration::milliseconds(100);
+        config.reliability.buffer_on_failure = true;
+        config.reliability.probe_period = Duration::seconds(5);
+      }
       const DdmdResult result = run_ddmd_experiment(config);
+      net_drops += result.net_drops;
+      rpc_retries += result.rpc_retries;
+      publish_failures += result.publish_failures;
+      replayed += result.replayed_publishes;
+      failovers += result.failovers;
       rows.push_back(Row{nodes, ranks, mode,
                          summarize(result.pipeline_seconds)});
     }
@@ -96,5 +129,21 @@ int main() {
           ? "yes (exclusive means within " +
                 bench::fmt_pct((ratio_max - ratio_min) / ratio_min) + ")"
           : "NO (" + bench::fmt_pct((ratio_max - ratio_min) / ratio_min) + ")");
+
+  if (faults_enabled) {
+    bench::section(("fault injection (seed " + std::to_string(fault_seed) +
+                    ")")
+                       .c_str());
+    std::printf("  network drops:    %llu\n",
+                static_cast<unsigned long long>(net_drops));
+    std::printf("  rpc retries:      %llu\n",
+                static_cast<unsigned long long>(rpc_retries));
+    std::printf("  publish failures: %llu\n",
+                static_cast<unsigned long long>(publish_failures));
+    std::printf("  replayed:         %llu\n",
+                static_cast<unsigned long long>(replayed));
+    std::printf("  failovers:        %llu\n",
+                static_cast<unsigned long long>(failovers));
+  }
   return 0;
 }

@@ -5,8 +5,12 @@
 // (paper §4.3; x-axis of the figure is log-scaled application nodes.)
 //
 // Pass a maximum scale as argv[1] (e.g. "128") to truncate the sweep.
+// `--fault-seed N` reruns the sweep on a lossy fabric (1% drops, 2% latency
+// spikes) with client retry + buffer-and-replay enabled; without the flag
+// the output is byte-identical to earlier builds.
 
 #include <cstdlib>
+#include <cstring>
 
 #include "bench_util.hpp"
 #include "experiments/ddmd_experiment.hpp"
@@ -19,7 +23,16 @@ int main(int argc, char** argv) {
                 "DDMD Scaling B: pipeline-runtime distributions per config");
 
   int max_scale = 512;
-  if (argc > 1) max_scale = std::atoi(argv[1]);
+  std::uint64_t fault_seed = 0;
+  bool faults_enabled = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      fault_seed = std::strtoull(argv[++i], nullptr, 10);
+      faults_enabled = true;
+    } else {
+      max_scale = std::atoi(argv[i]);
+    }
+  }
 
   struct Config {
     const char* name;
@@ -34,6 +47,9 @@ int main(int argc, char** argv) {
       {"frequent-exclusive", SomaMode::kExclusive, 10.0},
   };
 
+  std::uint64_t net_drops = 0, rpc_retries = 0, publish_failures = 0;
+  std::uint64_t replayed = 0, failovers = 0;
+
   std::map<std::pair<int, std::string>, Summary> results;
   TextTable table({"app nodes", "config", "pipeline time (s)", "median",
                    "p95", "vs none"});
@@ -43,7 +59,22 @@ int main(int argc, char** argv) {
     for (const auto& config : configs) {
       auto experiment = DdmdExperimentConfig::scaling_b(
           scale, config.mode, Duration::seconds(config.period_s));
+      if (faults_enabled) {
+        experiment.faults.enabled = true;
+        experiment.faults.fault_seed = fault_seed;
+        experiment.faults.drop_probability = 0.01;
+        experiment.faults.spike_probability = 0.02;
+        experiment.reliability.retry.max_attempts = 4;
+        experiment.reliability.retry.timeout = Duration::milliseconds(100);
+        experiment.reliability.buffer_on_failure = true;
+        experiment.reliability.probe_period = Duration::seconds(5);
+      }
       const DdmdResult result = run_ddmd_experiment(experiment);
+      net_drops += result.net_drops;
+      rpc_retries += result.rpc_retries;
+      publish_failures += result.publish_failures;
+      replayed += result.replayed_publishes;
+      failovers += result.failovers;
       const Summary summary = summarize(result.pipeline_seconds);
       results[{scale, config.name}] = summary;
       if (std::string(config.name) == "none") none_mean = summary.mean;
@@ -105,6 +136,22 @@ int main(int argc, char** argv) {
         results.at({std::min(512, max_scale), "none"}).mean;
     bench::paper_vs_measured("shared benefit shrinks as SOMA nodes fill up",
                              "yes", shared_large > shared_small ? "yes" : "NO");
+  }
+
+  if (faults_enabled) {
+    bench::section(("fault injection (seed " + std::to_string(fault_seed) +
+                    ")")
+                       .c_str());
+    std::printf("  network drops:    %llu\n",
+                static_cast<unsigned long long>(net_drops));
+    std::printf("  rpc retries:      %llu\n",
+                static_cast<unsigned long long>(rpc_retries));
+    std::printf("  publish failures: %llu\n",
+                static_cast<unsigned long long>(publish_failures));
+    std::printf("  replayed:         %llu\n",
+                static_cast<unsigned long long>(replayed));
+    std::printf("  failovers:        %llu\n",
+                static_cast<unsigned long long>(failovers));
   }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include "analysis/advisor.hpp"
 #include "common/error.hpp"
 #include "entk/entk.hpp"
+#include "net/fault.hpp"
 
 namespace soma::experiments {
 
@@ -131,6 +132,20 @@ DdmdResult run_ddmd_experiment(const DdmdExperimentConfig& config) {
   session_config.seed = config.seed;
   rp::Session session(session_config);
 
+  // Fault injection is installed before anything touches the network so the
+  // per-link streams cover the whole run. An absent injector (the default)
+  // keeps the fabric perfect and the run byte-identical to pre-fault builds.
+  if (config.faults.enabled) {
+    net::FaultConfig fault_config;
+    fault_config.seed = config.faults.fault_seed;
+    fault_config.default_link.drop_probability =
+        config.faults.drop_probability;
+    fault_config.default_link.spike_probability =
+        config.faults.spike_probability;
+    fault_config.default_link.spike_latency = config.faults.spike_latency;
+    session.network().install_faults(fault_config);
+  }
+
   std::unique_ptr<SomaDeployment> deployment;
   std::unique_ptr<entk::AppManager> app_manager;
   std::optional<SimTime> run_started;
@@ -156,6 +171,7 @@ DdmdResult run_ddmd_experiment(const DdmdExperimentConfig& config) {
                                         core::Namespace::kHardware};
     deploy_config.rp_monitor.period = config.monitor_period;
     deploy_config.hw_monitor.period = config.monitor_period;
+    deploy_config.client_reliability = config.reliability;
     deployment = std::make_unique<SomaDeployment>(session, deploy_config);
 
     deployment->deploy([&] {
@@ -192,6 +208,11 @@ DdmdResult run_ddmd_experiment(const DdmdExperimentConfig& config) {
   session.run();
   check(run_finished.has_value(), "ddmd experiment did not finish");
 
+  result.net_drops = session.network().messages_dropped();
+  if (const net::FaultInjector* faults = session.network().faults()) {
+    result.net_latency_spikes = faults->stats().latency_spikes;
+  }
+
   // ---- extract results ----
   for (const auto& pipeline_result : app_manager->results()) {
     result.pipeline_seconds.push_back(pipeline_result.duration_seconds());
@@ -221,6 +242,12 @@ DdmdResult run_ddmd_experiment(const DdmdExperimentConfig& config) {
         deployment->service().max_queue_delay().to_seconds() * 1e3;
     result.mean_ack_latency_ms = deployment->mean_client_ack_latency_ms();
     result.max_ack_latency_ms = deployment->max_client_ack_latency_ms();
+    result.replayed_publishes = deployment->service().replayed_publishes();
+    const SomaDeployment::ReliabilityTotals totals =
+        deployment->reliability_totals();
+    result.rpc_retries = totals.rpc_retries;
+    result.publish_failures = totals.publish_failures;
+    result.failovers = totals.failovers;
 
     // Fig. 9: mean utilization of the *application* nodes within each phase
     // of pipeline 0 (stage spans come in groups of four per phase).

@@ -31,6 +31,18 @@ struct DdmdPhaseConfig {
   int cores_per_train_task = 7;
 };
 
+/// Deterministic fault profile for an experiment run. Disabled by default —
+/// fault-free runs stay byte-identical to the calibrated fig10/fig11
+/// baselines. When enabled, every cross-node link gets the configured drop/
+/// spike probabilities, seeded by `fault_seed` (CLI: `--fault-seed`).
+struct DdmdFaults {
+  bool enabled = false;
+  std::uint64_t fault_seed = 1;
+  double drop_probability = 0.0;
+  double spike_probability = 0.0;
+  Duration spike_latency = Duration::microseconds(50);
+};
+
 struct DdmdExperimentConfig {
   int pipelines = 1;
   int phases = 1;
@@ -49,6 +61,10 @@ struct DdmdExperimentConfig {
 
   workloads::DdmdParams params{};
   std::uint64_t seed = 1;
+
+  /// Network fault injection + client reliability for the run.
+  DdmdFaults faults{};
+  core::ClientReliability reliability{};
 
   // Presets matching Table 2.
   static DdmdExperimentConfig tuning(std::uint64_t seed = 1);
@@ -95,6 +111,14 @@ struct DdmdResult {
   double soma_max_queue_delay_ms = 0.0;
   double mean_ack_latency_ms = 0.0;
   double max_ack_latency_ms = 0.0;
+
+  // Fault/reliability accounting (all zero in fault-free runs).
+  std::uint64_t net_drops = 0;
+  std::uint64_t net_latency_spikes = 0;
+  std::uint64_t rpc_retries = 0;
+  std::uint64_t publish_failures = 0;
+  std::uint64_t replayed_publishes = 0;
+  std::uint64_t failovers = 0;
 };
 
 DdmdResult run_ddmd_experiment(const DdmdExperimentConfig& config);

@@ -129,7 +129,8 @@ void SomaDeployment::start_monitors() {
     rp_monitor_client_ = std::make_unique<core::SomaClient>(
         session_.network(), agent_node, next_port(),
         core::Namespace::kWorkflow,
-        service_->instance(core::Namespace::kWorkflow).ranks);
+        service_->instance(core::Namespace::kWorkflow).ranks,
+        config_.client_reliability);
     rp_monitor_ = std::make_unique<monitors::RpMonitor>(
         session_, *rp_monitor_client_, config_.rp_monitor);
 
@@ -165,7 +166,8 @@ void SomaDeployment::start_monitors() {
       auto client = std::make_unique<core::SomaClient>(
           session_.network(), node_id, next_port(),
           core::Namespace::kHardware,
-          service_->instance(core::Namespace::kHardware).ranks);
+          service_->instance(core::Namespace::kHardware).ranks,
+          config_.client_reliability);
       auto monitor = std::make_unique<monitors::HwMonitor>(
           session_.simulation(), session_.platform().node(node_id), *client,
           session_.rng().split("hw_monitor_" + std::to_string(node_id)),
@@ -235,7 +237,8 @@ void SomaDeployment::enable_openfoam_tau(
               std::make_unique<core::SomaClient>(
                   session_.network(), node, next_port(),
                   core::Namespace::kPerformance,
-                  service_->instance(core::Namespace::kPerformance).ranks);
+                  service_->instance(core::Namespace::kPerformance).ranks,
+                  config_.client_reliability);
           tau_plugins_[static_cast<std::size_t>(node)] =
               std::make_unique<profiler::TauSomaPlugin>(
                   *tau_clients_[static_cast<std::size_t>(node)]);
@@ -283,9 +286,38 @@ double SomaDeployment::max_client_ack_latency_ms() const {
 std::unique_ptr<core::SomaClient> SomaDeployment::make_client(
     core::Namespace ns, NodeId node) {
   check(service_ != nullptr, "SOMA service not deployed");
-  return std::make_unique<core::SomaClient>(session_.network(), node,
-                                            next_port(), ns,
-                                            service_->instance(ns).ranks);
+  return std::make_unique<core::SomaClient>(
+      session_.network(), node, next_port(), ns, service_->instance(ns).ranks,
+      config_.client_reliability);
+}
+
+std::vector<const core::SomaClient*> SomaDeployment::clients() const {
+  std::vector<const core::SomaClient*> all;
+  if (rp_monitor_client_) all.push_back(rp_monitor_client_.get());
+  for (const auto& client : hw_clients_) {
+    if (client) all.push_back(client.get());
+  }
+  for (const auto& client : tau_clients_) {
+    if (client) all.push_back(client.get());
+  }
+  return all;
+}
+
+SomaDeployment::ReliabilityTotals SomaDeployment::reliability_totals() const {
+  ReliabilityTotals totals;
+  for (const core::SomaClient* client : clients()) {
+    const core::SomaClient::ClientStats& s = client->stats();
+    totals.publish_failures += s.publish_failures;
+    totals.buffered += s.buffered;
+    totals.replayed += s.replayed;
+    totals.failovers += s.failovers;
+    totals.dropped_overflow += s.dropped_overflow;
+    const net::EngineStats& e = client->engine_stats();
+    totals.rpc_retries += e.retries;
+    totals.rpc_timeouts += e.timeouts;
+    totals.rpc_calls_failed += e.calls_failed;
+  }
+  return totals;
 }
 
 void SomaDeployment::shutdown() {

@@ -56,6 +56,11 @@ struct DeploymentConfig {
 
   /// First port for client-stub engines (service uses service.base_port).
   int base_client_port = 20000;
+
+  /// Reliability policy applied to every client the deployment creates
+  /// (monitors, TAU plugins, make_client). The default — no retries, no
+  /// degradation — reproduces the historical perfect-transport behaviour.
+  core::ClientReliability client_reliability{};
 };
 
 class SomaDeployment {
@@ -91,6 +96,22 @@ class SomaDeployment {
   /// milliseconds. The "is SOMA keeping pace" signal of the scaling runs.
   [[nodiscard]] double mean_client_ack_latency_ms() const;
   [[nodiscard]] double max_client_ack_latency_ms() const;
+
+  /// Aggregate reliability counters across every client the deployment
+  /// created (experiments report perturbation under faults from these).
+  struct ReliabilityTotals {
+    std::uint64_t publish_failures = 0;
+    std::uint64_t buffered = 0;
+    std::uint64_t replayed = 0;
+    std::uint64_t failovers = 0;
+    std::uint64_t dropped_overflow = 0;
+    std::uint64_t rpc_retries = 0;
+    std::uint64_t rpc_timeouts = 0;
+    std::uint64_t rpc_calls_failed = 0;
+  };
+  [[nodiscard]] ReliabilityTotals reliability_totals() const;
+  /// The deployment's clients, for export_fault_report.
+  [[nodiscard]] std::vector<const core::SomaClient*> clients() const;
 
   /// Build a fresh client against one namespace instance (for the adaptive
   /// advisor or application-namespace use).

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "net/fault.hpp"
 
 namespace soma::net {
 
@@ -38,6 +39,13 @@ NodeId address_node(const Address& address) {
 Network::Network(sim::Simulation& simulation, NetworkConfig config)
     : simulation_(simulation), config_(config) {
   check(config_.bandwidth_bytes_per_sec > 0, "bandwidth must be positive");
+}
+
+Network::~Network() = default;
+
+FaultInjector& Network::install_faults(FaultConfig config) {
+  faults_ = std::make_unique<FaultInjector>(std::move(config));
+  return *faults_;
 }
 
 void Network::bind(const Address& address, Delivery delivery) {
@@ -74,16 +82,30 @@ SimTime Network::send(const Address& from, const Address& to,
     start = std::max(start, free_at);
     free_at = start + transfer;
   }
-  const SimTime arrival = start + transfer + wire_latency;
+  SimTime arrival = start + transfer + wire_latency;
 
   ++messages_sent_;
   bytes_sent_ += payload.size();
+
+  if (faults_) {
+    const FaultInjector::Decision verdict =
+        faults_->decide(src, dst, from, to, simulation_.now(), arrival);
+    if (verdict.drop) {
+      ++messages_dropped_;
+      ++drops_by_endpoint_[to];
+      SOMA_DEBUG() << "network: fault dropped message " << from << " -> "
+                   << to;
+      return arrival;
+    }
+    arrival = arrival + verdict.extra_latency;
+  }
 
   simulation_.schedule_at(
       arrival, [this, from, to, data = std::move(payload)]() mutable {
         const auto it = endpoints_.find(to);
         if (it == endpoints_.end()) {
           ++messages_dropped_;
+          ++drops_by_endpoint_[to];
           SOMA_DEBUG() << "network: dropped message to unbound " << to;
           return;
         }

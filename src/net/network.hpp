@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +20,9 @@
 #include "sim/simulation.hpp"
 
 namespace soma::net {
+
+class FaultInjector;
+struct FaultConfig;
 
 /// Endpoint address, Mercury-style URI ("sim://node3:7777").
 using Address = std::string;
@@ -45,14 +50,25 @@ class Network {
                                       std::vector<std::byte> payload)>;
 
   Network(sim::Simulation& simulation, NetworkConfig config = {});
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   sim::Simulation& simulation() { return simulation_; }
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
 
+  /// Attach a deterministic fault injector (see net/fault.hpp). Replaces any
+  /// previously installed injector; returns it for schedule setup. With no
+  /// injector the fabric is perfect, as before.
+  FaultInjector& install_faults(FaultConfig config);
+  [[nodiscard]] FaultInjector* faults() { return faults_.get(); }
+  [[nodiscard]] const FaultInjector* faults() const { return faults_.get(); }
+
   /// Register an endpoint. Throws ConfigError if the address is taken.
   void bind(const Address& address, Delivery delivery);
-  /// Remove an endpoint (messages in flight to it are dropped silently,
-  /// mirroring a closed Mercury endpoint).
+  /// Remove an endpoint. Messages in flight to it are dropped (mirroring a
+  /// closed Mercury endpoint) — the drops are counted per destination and
+  /// visible through drops_by_endpoint(), no longer silent.
   void unbind(const Address& address);
 
   [[nodiscard]] bool is_bound(const Address& address) const;
@@ -69,6 +85,13 @@ class Network {
   [[nodiscard]] std::uint64_t messages_dropped() const {
     return messages_dropped_;
   }
+  /// Drops broken down by destination address — unbound endpoints, injected
+  /// faults, everything that bumps messages_dropped(). Ordered for
+  /// deterministic iteration in tests and exports.
+  [[nodiscard]] const std::map<Address, std::uint64_t>& drops_by_endpoint()
+      const {
+    return drops_by_endpoint_;
+  }
 
  private:
   sim::Simulation& simulation_;
@@ -77,9 +100,11 @@ class Network {
   // Per-source-node NIC availability: next time the NIC is free to start
   // transmitting. Models serialization of back-to-back sends.
   std::unordered_map<NodeId, SimTime> nic_free_at_;
+  std::unique_ptr<FaultInjector> faults_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_dropped_ = 0;
+  std::map<Address, std::uint64_t> drops_by_endpoint_;
 };
 
 }  // namespace soma::net

@@ -31,7 +31,10 @@ Engine::Engine(Network& network, Address address, ServiceCost cost)
   });
 }
 
-Engine::~Engine() { network_.unbind(address_); }
+Engine::~Engine() {
+  for (auto& [id, call] : pending_) call.timeout.cancel();
+  network_.unbind(address_);
+}
 
 void Engine::define(const std::string& rpc, Handler handler) {
   const auto [it, inserted] = handlers_.emplace(rpc, std::move(handler));
@@ -41,14 +44,70 @@ void Engine::define(const std::string& rpc, Handler handler) {
 
 void Engine::call(const Address& dest, const std::string& rpc,
                   datamodel::Node args, ResponseCallback on_response) {
+  call(dest, rpc, std::move(args), std::move(on_response), RetryPolicy{});
+}
+
+void Engine::call(const Address& dest, const std::string& rpc,
+                  datamodel::Node args, ResponseCallback on_response,
+                  RetryPolicy policy, ErrorCallback on_error) {
+  check(policy.max_attempts >= 1, "retry policy needs at least one attempt");
   const std::uint64_t id = next_request_id_++;
-  if (on_response) pending_.emplace(id, std::move(on_response));
 
   std::vector<std::byte> frame =
       encode_frame(wire::Kind::kRequest, id, rpc, args);
+
+  if (on_response || on_error || policy.enabled()) {
+    PendingCall pending;
+    pending.on_response = std::move(on_response);
+    pending.on_error = std::move(on_error);
+    pending.dest = dest;
+    pending.policy = policy;
+    if (policy.enabled()) {
+      pending.frame = frame;  // retransmission copy
+      pending.timeout = network_.simulation().schedule(
+          policy.timeout_for(0), [this, id] { on_timeout(id); });
+    }
+    pending_.emplace(id, std::move(pending));
+  }
+
   stats_.bytes_out += frame.size();
   ++stats_.requests_sent;
   network_.send(address_, dest, std::move(frame));
+}
+
+void Engine::on_timeout(std::uint64_t request_id) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  PendingCall& call = it->second;
+  ++stats_.timeouts;
+
+  if (call.attempt + 1 >= call.policy.max_attempts) {
+    // Retry budget exhausted: settle the call and surface the failure.
+    ++stats_.calls_failed;
+    settled_retries_.insert(request_id);
+    ErrorCallback on_error = std::move(call.on_error);
+    const int attempts = call.attempt + 1;
+    const Address dest = call.dest;
+    pending_.erase(it);
+    SOMA_DEBUG() << "rpc engine " << address_ << ": call to " << dest
+                 << " failed after " << attempts << " attempt(s)";
+    if (on_error) {
+      on_error("rpc to " + dest + " timed out after " +
+               std::to_string(attempts) + " attempt(s)");
+    }
+    return;
+  }
+
+  ++call.attempt;
+  ++stats_.retries;
+  std::vector<std::byte> frame = call.frame;
+  wire::set_request_attempt(frame, static_cast<std::uint8_t>(call.attempt));
+  call.timeout = network_.simulation().schedule(
+      call.policy.timeout_for(call.attempt),
+      [this, request_id] { on_timeout(request_id); });
+  stats_.bytes_out += frame.size();
+  ++stats_.requests_sent;
+  network_.send(address_, call.dest, std::move(frame));
 }
 
 void Engine::on_message(const Address& from, std::vector<std::byte> payload) {
@@ -56,15 +115,26 @@ void Engine::on_message(const Address& from, std::vector<std::byte> payload) {
   const wire::FrameHeader header = wire::decode_header(payload);
 
   if (header.kind == wire::Kind::kRequest) {
+    if (header.attempt > 0) ++stats_.retried_requests;
     handle_request(from, header.request_id, std::string(header.rpc),
                    datamodel::Node::unpack(header.body), payload_bytes);
   } else {
     ++stats_.responses_received;
     const auto it = pending_.find(header.request_id);
-    if (it == pending_.end()) return;  // fire-and-forget ack: body never read
-    ResponseCallback callback = std::move(it->second);
+    if (it == pending_.end()) {
+      // Fire-and-forget ack (body never read) — or a duplicate reply to a
+      // call that already settled via an earlier response or exhaustion.
+      if (settled_retries_.contains(header.request_id)) {
+        ++stats_.duplicate_responses;
+      }
+      return;
+    }
+    PendingCall call = std::move(it->second);
     pending_.erase(it);
-    callback(datamodel::Node::unpack(header.body));
+    call.timeout.cancel();
+    // Only retried calls can see duplicates; remember them for suppression.
+    if (call.attempt > 0) settled_retries_.insert(header.request_id);
+    if (call.on_response) call.on_response(datamodel::Node::unpack(header.body));
   }
 }
 

@@ -16,6 +16,8 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "datamodel/node.hpp"
 #include "net/network.hpp"
@@ -50,6 +52,34 @@ struct ServiceCost {
   }
 };
 
+/// Client-side reliability policy for one call. The default policy (no
+/// timeout) reproduces the engine's historical behaviour exactly: the frame
+/// is sent once and the caller waits forever.
+///
+/// With a timeout set, the call is retransmitted with exponential backoff —
+/// attempt k waits timeout * backoff_multiplier^k (capped at max_timeout when
+/// set) — until a response arrives or max_attempts transmissions have timed
+/// out, at which point the error callback fires. Retries reuse the original
+/// request id (at-least-once semantics); a late response racing a retry is
+/// delivered once and subsequent duplicates are suppressed and counted.
+struct RetryPolicy {
+  /// Total transmissions (1 = no retries).
+  int max_attempts = 1;
+  /// Per-attempt timeout; zero disables the reliability layer entirely.
+  Duration timeout = Duration::zero();
+  double backoff_multiplier = 2.0;
+  /// Cap on the backed-off per-attempt timeout; zero = uncapped.
+  Duration max_timeout = Duration::zero();
+
+  [[nodiscard]] bool enabled() const { return timeout > Duration::zero(); }
+  [[nodiscard]] Duration timeout_for(int attempt) const {
+    Duration t = timeout;
+    for (int i = 0; i < attempt; ++i) t = t * backoff_multiplier;
+    if (max_timeout > Duration::zero() && t > max_timeout) t = max_timeout;
+    return t;
+  }
+};
+
 /// Aggregate statistics for one engine (exposed to the overhead analysis).
 struct EngineStats {
   std::uint64_t requests_handled = 0;
@@ -58,6 +88,12 @@ struct EngineStats {
   std::uint64_t responses_received = 0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
+  // Reliability layer (all zero when every call uses the default policy).
+  std::uint64_t timeouts = 0;             ///< per-attempt timer expiries
+  std::uint64_t retries = 0;              ///< retransmissions sent
+  std::uint64_t calls_failed = 0;         ///< calls that exhausted retries
+  std::uint64_t duplicate_responses = 0;  ///< late replies after settlement
+  std::uint64_t retried_requests = 0;     ///< server side: attempt > 0 arrivals
   Duration total_queue_delay;
   Duration max_queue_delay;
   Duration total_service_time;
@@ -71,6 +107,8 @@ class Engine {
                                                 const datamodel::Node& args)>;
   /// A client-side completion callback.
   using ResponseCallback = std::function<void(datamodel::Node response)>;
+  /// Fired when a call exhausts its retry budget without a response.
+  using ErrorCallback = std::function<void(const std::string& error)>;
 
   Engine(Network& network, Address address, ServiceCost cost = {});
   ~Engine();
@@ -90,21 +128,45 @@ class Engine {
   void call(const Address& dest, const std::string& rpc, datamodel::Node args,
             ResponseCallback on_response = nullptr);
 
+  /// Reliable variant: `policy` arms a per-attempt timeout with bounded
+  /// exponential-backoff retransmission; `on_error` fires on exhaustion.
+  /// A disabled policy (zero timeout) behaves exactly like the plain call.
+  void call(const Address& dest, const std::string& rpc, datamodel::Node args,
+            ResponseCallback on_response, RetryPolicy policy,
+            ErrorCallback on_error = nullptr);
+
   /// Time at which this engine finishes its current backlog. Equal to now
   /// when idle; used by tests and the saturation analysis.
   [[nodiscard]] SimTime busy_until() const { return busy_until_; }
 
  private:
+  /// Client-side state of one in-flight call.
+  struct PendingCall {
+    ResponseCallback on_response;
+    ErrorCallback on_error;
+    Address dest;
+    RetryPolicy policy;
+    /// Encoded request, kept for retransmission (empty unless the policy is
+    /// enabled — plain calls never pay the copy).
+    std::vector<std::byte> frame;
+    int attempt = 0;
+    sim::EventHandle timeout;
+  };
+
   void on_message(const Address& from, std::vector<std::byte> payload);
   void handle_request(const Address& from, std::uint64_t request_id,
                       const std::string& rpc, datamodel::Node args,
                       std::size_t payload_bytes);
+  void on_timeout(std::uint64_t request_id);
 
   Network& network_;
   Address address_;
   ServiceCost cost_;
   std::unordered_map<std::string, Handler> handlers_;
-  std::unordered_map<std::uint64_t, ResponseCallback> pending_;
+  std::unordered_map<std::uint64_t, PendingCall> pending_;
+  /// Ids of retried or exhausted calls, for duplicate-response suppression.
+  /// Plain single-shot ids never enter, so fire-and-forget acks stay cheap.
+  std::unordered_set<std::uint64_t> settled_retries_;
   std::uint64_t next_request_id_ = 1;
   SimTime busy_until_{};
   EngineStats stats_;

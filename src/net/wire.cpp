@@ -54,6 +54,22 @@ void append_header(std::vector<std::byte>& out, Kind kind, std::uint64_t id,
   if (!rpc.empty()) std::memcpy(p + kFixedHeaderBytes, rpc.data(), rpc.size());
 }
 
+void set_request_attempt(std::vector<std::byte>& frame, std::uint8_t attempt) {
+  if (frame.size() < kFixedHeaderBytes) {
+    throw soma::LookupError("wire: truncated frame header");
+  }
+  const std::byte* p = frame.data();
+  if (static_cast<Kind>(p[4]) != Kind::kRequest) {
+    throw soma::LookupError("wire: attempt counter on non-request frame");
+  }
+  const std::uint32_t rpc_len = get_u32(p + 13);
+  const std::size_t offset = kFixedHeaderBytes + rpc_len;
+  if (offset >= frame.size()) {
+    throw soma::LookupError("wire: truncated frame");
+  }
+  frame[offset] = std::byte{attempt};
+}
+
 FrameHeader decode_header(std::span<const std::byte> frame) {
   if (frame.size() < kFixedHeaderBytes) {
     throw soma::LookupError("wire: truncated frame header");
@@ -75,8 +91,12 @@ FrameHeader decode_header(std::span<const std::byte> frame) {
       body_offset > frame.size()) {
     throw soma::LookupError("wire: truncated frame");
   }
+  const std::uint8_t attempt =
+      kind == Kind::kRequest
+          ? static_cast<std::uint8_t>(p[kFixedHeaderBytes + rpc_len])
+          : std::uint8_t{0};
   return FrameHeader{
-      kind, id,
+      kind, id, attempt,
       std::string_view(reinterpret_cast<const char*>(p + kFixedHeaderBytes),
                        rpc_len),
       frame.subspan(body_offset)};

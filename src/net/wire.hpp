@@ -57,6 +57,11 @@ inline constexpr std::size_t kReservedResponseBytes = 28;
 struct FrameHeader {
   Kind kind;
   std::uint64_t request_id;
+  /// Retransmission counter, stored in the first reserved byte of request
+  /// frames (always 0 for responses). The reserved region was zero-filled
+  /// before retries existed, so attempt 0 — every frame of a fault-free run —
+  /// keeps frames byte-identical to the pre-retry encoding.
+  std::uint8_t attempt;
   std::string_view rpc;
   std::span<const std::byte> body;
 };
@@ -65,6 +70,11 @@ struct FrameHeader {
 /// packs the body right behind it. `rpc` must be empty for responses.
 void append_header(std::vector<std::byte>& out, Kind kind, std::uint64_t id,
                    std::string_view rpc);
+
+/// Stamp the retransmission counter into an already-encoded request frame
+/// (the retry path rewrites the counter without re-encoding the body).
+/// Throws soma::LookupError if `frame` is not a well-formed request.
+void set_request_attempt(std::vector<std::byte>& frame, std::uint8_t attempt);
 
 /// Decode a frame header in place. Throws soma::LookupError on a truncated
 /// frame, bad magic, or an unknown kind. The returned views are valid only

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 
 namespace soma::core {
 namespace {
@@ -20,8 +21,12 @@ std::size_t hash_source(const std::string& source) {
 }  // namespace
 
 SomaClient::SomaClient(net::Network& network, NodeId node, int port,
-                       Namespace ns, std::vector<net::Address> instance_ranks)
-    : network_(network), ns_(ns), instance_ranks_(std::move(instance_ranks)) {
+                       Namespace ns, std::vector<net::Address> instance_ranks,
+                       ClientReliability reliability)
+    : network_(network),
+      ns_(ns),
+      instance_ranks_(std::move(instance_ranks)),
+      reliability_(reliability) {
   check(!instance_ranks_.empty(), "SOMA client needs >= 1 service rank");
   // The client stub handles only tiny acks; give it a near-zero cost model.
   net::ServiceCost stub_cost;
@@ -29,32 +34,194 @@ SomaClient::SomaClient(net::Network& network, NodeId node, int port,
   stub_cost.per_kib = Duration::nanoseconds(100);
   engine_ = std::make_unique<net::Engine>(
       network_, net::make_address(node, port), stub_cost);
+
+  rank_down_.assign(instance_ranks_.size(), 0);
+  probe_in_flight_.assign(instance_ranks_.size(), 0);
+  if (reliability_.degradation_enabled()) {
+    probe_task_ = std::make_unique<sim::PeriodicTask>(
+        network_.simulation(), reliability_.probe_period,
+        [this] { probe_tick(); });
+  }
+}
+
+SomaClient::~SomaClient() = default;
+
+std::size_t SomaClient::rank_index_for(const std::string& source) const {
+  return hash_source(source) % instance_ranks_.size();
 }
 
 const net::Address& SomaClient::rank_for(const std::string& source) const {
-  return instance_ranks_[hash_source(source) % instance_ranks_.size()];
+  return instance_ranks_[rank_index_for(source)];
+}
+
+bool SomaClient::degraded() const {
+  return std::any_of(rank_down_.begin(), rank_down_.end(),
+                     [](char down) { return down != 0; });
 }
 
 void SomaClient::publish(const std::string& source, datamodel::Node data,
                          std::function<void()> on_ack) {
+  ++stats_.published;
+  const SimTime now = network_.simulation().now();
+  if (reliability_.retry.enabled() && reliability_.buffer_on_failure) {
+    // Park the record if its collector is down — or if anything is already
+    // parked: replay order must not let a fresh publish overtake a buffered
+    // one from the same source.
+    if (!buffer_.empty() || rank_down_[rank_index_for(source)]) {
+      enqueue_buffered(source, std::move(data), now, std::move(on_ack));
+      return;
+    }
+  }
+  send_publish(source, std::move(data), now, std::move(on_ack),
+               /*replay=*/false);
+}
+
+void SomaClient::send_publish(const std::string& source, datamodel::Node data,
+                              SimTime published_at,
+                              std::function<void()> on_ack, bool replay) {
+  std::size_t idx = rank_index_for(source);
+  if (rank_down_[idx] && reliability_.failover &&
+      !reliability_.buffer_on_failure) {
+    // Hash affinity is broken anyway while the home rank is down; redirect
+    // to the next live rank of the instance.
+    for (std::size_t k = 1; k < instance_ranks_.size(); ++k) {
+      const std::size_t alt = (idx + k) % instance_ranks_.size();
+      if (!rank_down_[alt]) {
+        idx = alt;
+        ++stats_.failovers;
+        break;
+      }
+    }
+  }
+
+  // Keep a copy only when a failed send must be re-buffered; plain and
+  // failover-only clients never pay it.
+  datamodel::Node data_copy;
+  const bool keep_copy =
+      reliability_.retry.enabled() && reliability_.buffer_on_failure;
+  if (keep_copy) data_copy = data;
+
   datamodel::Node args;
   args["ns"].set(std::string(to_string(ns_)));
   args["source"].set(source);
   args["data"] = std::move(data);
+  // Replayed records carry their original publish time so the service
+  // stores them under the timestamp the data was produced at.
+  if (replay) args["t"].set(published_at.nanos());
 
-  ++stats_.published;
   const SimTime sent_at = network_.simulation().now();
-  engine_->call(rank_for(source), "soma.publish", std::move(args),
-                [this, sent_at, on_ack = std::move(on_ack)](
-                    const datamodel::Node& /*reply*/) {
-                  ++stats_.acked;
-                  const Duration latency =
-                      network_.simulation().now() - sent_at;
-                  stats_.total_ack_latency += latency;
-                  stats_.max_ack_latency =
-                      std::max(stats_.max_ack_latency, latency);
-                  if (on_ack) on_ack();
-                });
+  auto on_response = [this, sent_at,
+                      on_ack](const datamodel::Node& /*reply*/) {
+    ++stats_.acked;
+    const Duration latency = network_.simulation().now() - sent_at;
+    stats_.total_ack_latency += latency;
+    stats_.max_ack_latency = std::max(stats_.max_ack_latency, latency);
+    if (on_ack) on_ack();
+  };
+
+  if (!reliability_.retry.enabled()) {
+    engine_->call(instance_ranks_[idx], "soma.publish", std::move(args),
+                  std::move(on_response));
+    return;
+  }
+
+  net::Engine::ErrorCallback on_error =
+      [this, idx, source, data_copy = std::move(data_copy), published_at,
+       on_ack](const std::string& /*error*/) mutable {
+        on_publish_failure(idx, source, std::move(data_copy), published_at,
+                           std::move(on_ack));
+      };
+  engine_->call(instance_ranks_[idx], "soma.publish", std::move(args),
+                std::move(on_response), reliability_.retry,
+                std::move(on_error));
+}
+
+void SomaClient::enqueue_buffered(const std::string& source,
+                                  datamodel::Node data, SimTime published_at,
+                                  std::function<void()> on_ack) {
+  if (buffer_.size() >= reliability_.max_buffered) {
+    buffer_.pop_front();
+    ++stats_.dropped_overflow;
+  }
+  buffer_.push_back(Buffered{next_buffer_seq_++, source, std::move(data),
+                             published_at, std::move(on_ack)});
+  ++stats_.buffered;
+  ensure_probe_running();
+}
+
+void SomaClient::on_publish_failure(std::size_t rank_index,
+                                    const std::string& source,
+                                    datamodel::Node data, SimTime published_at,
+                                    std::function<void()> on_ack) {
+  ++stats_.publish_failures;
+  rank_down_[rank_index] = 1;
+  SOMA_DEBUG() << "soma client " << address() << ": collector "
+               << instance_ranks_[rank_index] << " unresponsive";
+  if (reliability_.buffer_on_failure) {
+    enqueue_buffered(source, std::move(data), published_at, std::move(on_ack));
+  }
+  if (reliability_.degradation_enabled()) ensure_probe_running();
+}
+
+void SomaClient::flush_buffer() {
+  if (buffer_.empty()) return;
+  std::vector<Buffered> ready;
+  for (auto it = buffer_.begin(); it != buffer_.end();) {
+    if (rank_down_[rank_index_for(it->source)] == 0) {
+      ready.push_back(std::move(*it));
+      it = buffer_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Replay in original publish order. Records re-buffered by a late failure
+  // carry an earlier publish time than their enqueue position, so sort by
+  // (published_at, seq) rather than trusting queue order — the store's
+  // per-source series must stay time-ascending.
+  std::sort(ready.begin(), ready.end(),
+            [](const Buffered& a, const Buffered& b) {
+              if (a.published_at != b.published_at) {
+                return a.published_at < b.published_at;
+              }
+              return a.seq < b.seq;
+            });
+  for (Buffered& record : ready) {
+    ++stats_.replayed;
+    send_publish(record.source, std::move(record.data), record.published_at,
+                 std::move(record.on_ack), /*replay=*/true);
+  }
+}
+
+void SomaClient::ensure_probe_running() {
+  if (!probe_task_ || probe_task_->running()) return;
+  probe_task_->start(reliability_.probe_period);
+}
+
+void SomaClient::probe_tick() {
+  flush_buffer();  // opportunistic: replay anything whose rank is back up
+  bool any_down = false;
+  for (std::size_t i = 0; i < instance_ranks_.size(); ++i) {
+    if (rank_down_[i] == 0) continue;
+    any_down = true;
+    if (probe_in_flight_[i] != 0) continue;
+    probe_in_flight_[i] = 1;
+    net::RetryPolicy probe;
+    probe.max_attempts = 1;
+    probe.timeout = reliability_.retry.timeout;
+    engine_->call(
+        instance_ranks_[i], "soma.ping", datamodel::Node{},
+        [this, i](const datamodel::Node& /*reply*/) {
+          probe_in_flight_[i] = 0;
+          rank_down_[i] = 0;
+          SOMA_DEBUG() << "soma client " << address() << ": collector "
+                       << instance_ranks_[i] << " recovered";
+          flush_buffer();
+        },
+        probe, [this, i](const std::string& /*error*/) {
+          probe_in_flight_[i] = 0;
+        });
+  }
+  if (!any_down && buffer_.empty()) probe_task_->stop();
 }
 
 void SomaClient::query(datamodel::Node request,

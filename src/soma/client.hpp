@@ -6,9 +6,20 @@
 // monitoring API into RPCs against the namespace instance it was given.
 // Records from one source always go to the same service rank (hash
 // affinity) so per-source time series stay ordered.
+//
+// Reliability (optional, off by default): a `ClientReliability` config arms
+// per-publish retry/timeout, and on retry exhaustion the client enters a
+// graceful-degradation mode. With `buffer_on_failure` it buffers publishes
+// locally, probes the dead collector with `soma.ping`, and replays the
+// buffer in original publish order — with original timestamps — once the
+// collector answers again. With `failover` (and no buffering) it redirects
+// publishes to the next live rank of the instance instead. The default
+// config takes none of these paths, so fault-free runs are byte-identical
+// to the pre-reliability client.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -17,9 +28,31 @@
 #include "common/types.hpp"
 #include "datamodel/node.hpp"
 #include "net/rpc.hpp"
+#include "sim/simulation.hpp"
 #include "soma/namespaces.hpp"
 
 namespace soma::core {
+
+/// How a client behaves when its collector stops answering.
+struct ClientReliability {
+  /// Per-publish retry policy. Disabled (zero timeout) = historical
+  /// behaviour: one send, wait forever, no failure detection.
+  net::RetryPolicy retry{};
+  /// Buffer publishes while the target rank is down and replay them (in
+  /// original order, with original timestamps) after it recovers.
+  bool buffer_on_failure = false;
+  /// Redirect publishes for a down rank to the next live rank of the
+  /// instance. Ignored while buffering — replay preserves rank affinity.
+  bool failover = false;
+  /// How often a degraded client pings its dead collector.
+  Duration probe_period = Duration::seconds(5);
+  /// Buffer capacity; older records are dropped (and counted) beyond it.
+  std::size_t max_buffered = 4096;
+
+  [[nodiscard]] bool degradation_enabled() const {
+    return retry.enabled() && (buffer_on_failure || failover);
+  }
+};
 
 class SomaClient {
  public:
@@ -28,6 +61,12 @@ class SomaClient {
   struct ClientStats {
     std::uint64_t published = 0;
     std::uint64_t acked = 0;
+    // Reliability layer (all zero with the default config).
+    std::uint64_t publish_failures = 0;  ///< retry budgets exhausted
+    std::uint64_t buffered = 0;          ///< publishes parked in the buffer
+    std::uint64_t replayed = 0;          ///< buffered publishes re-sent
+    std::uint64_t failovers = 0;         ///< publishes redirected to a live rank
+    std::uint64_t dropped_overflow = 0;  ///< buffer-capacity evictions
     Duration total_ack_latency;
     Duration max_ack_latency;
 
@@ -40,7 +79,11 @@ class SomaClient {
   /// the service addresses of the target namespace instance; `port` must be
   /// unique per client on that node.
   SomaClient(net::Network& network, NodeId node, int port, Namespace ns,
-             std::vector<net::Address> instance_ranks);
+             std::vector<net::Address> instance_ranks,
+             ClientReliability reliability = {});
+  ~SomaClient();
+  SomaClient(const SomaClient&) = delete;
+  SomaClient& operator=(const SomaClient&) = delete;
 
   [[nodiscard]] Namespace target_namespace() const { return ns_; }
   [[nodiscard]] net::Network& network() { return network_; }
@@ -48,6 +91,18 @@ class SomaClient {
     return engine_->address();
   }
   [[nodiscard]] const ClientStats& stats() const { return stats_; }
+  [[nodiscard]] const net::EngineStats& engine_stats() const {
+    return engine_->stats();
+  }
+  [[nodiscard]] const ClientReliability& reliability() const {
+    return reliability_;
+  }
+
+  /// True while at least one target rank is considered down (the client is
+  /// buffering or failing over). Monitors report this as degraded ticks.
+  [[nodiscard]] bool degraded() const;
+  /// Publishes currently parked awaiting collector recovery.
+  [[nodiscard]] std::size_t buffered_pending() const { return buffer_.size(); }
 
   /// Publish `data` under `source` (hostname, task uid, ...). `on_ack`
   /// (optional) fires when the service acknowledges.
@@ -60,12 +115,41 @@ class SomaClient {
              std::function<void(datamodel::Node)> on_reply);
 
  private:
+  /// One publish parked while its collector is down.
+  struct Buffered {
+    std::uint64_t seq;
+    std::string source;
+    datamodel::Node data;
+    SimTime published_at;
+    std::function<void()> on_ack;
+  };
+
+  [[nodiscard]] std::size_t rank_index_for(const std::string& source) const;
   [[nodiscard]] const net::Address& rank_for(const std::string& source) const;
+
+  void send_publish(const std::string& source, datamodel::Node data,
+                    SimTime published_at, std::function<void()> on_ack,
+                    bool replay);
+  void enqueue_buffered(const std::string& source, datamodel::Node data,
+                        SimTime published_at, std::function<void()> on_ack);
+  void on_publish_failure(std::size_t rank_index, const std::string& source,
+                          datamodel::Node data, SimTime published_at,
+                          std::function<void()> on_ack);
+  /// Replay buffered publishes whose target rank is back up, oldest first.
+  void flush_buffer();
+  void ensure_probe_running();
+  void probe_tick();
 
   net::Network& network_;
   Namespace ns_;
   std::vector<net::Address> instance_ranks_;
+  ClientReliability reliability_;
   std::unique_ptr<net::Engine> engine_;
+  std::vector<char> rank_down_;       // 1 = considered down
+  std::vector<char> probe_in_flight_; // 1 = ping outstanding
+  std::deque<Buffered> buffer_;
+  std::uint64_t next_buffer_seq_ = 0;
+  std::unique_ptr<sim::PeriodicTask> probe_task_;
   ClientStats stats_;
 };
 

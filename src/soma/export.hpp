@@ -9,6 +9,8 @@
 #include <iosfwd>
 #include <string>
 
+#include "net/network.hpp"
+#include "soma/client.hpp"
 #include "soma/store.hpp"
 
 namespace soma::core {
@@ -40,5 +42,17 @@ bool parse_export_line(const std::string& line, ExportedRecord& record);
 std::size_t import_store(DataStore& store, std::istream& in);
 
 std::size_t import_store_from_file(DataStore& store, const std::string& path);
+
+/// Build a report of the network's fault/drop counters: totals, drops by
+/// cause (when a FaultInjector is installed) and drops by destination
+/// endpoint. Experiments attach it to their result output so perturbation
+/// under faults is observable alongside the monitoring data itself.
+datamodel::Node export_fault_report(const net::Network& network);
+
+/// Extended report that also aggregates client-side reliability counters
+/// (retries, publish failures, buffered/replayed records, failovers).
+datamodel::Node export_fault_report(
+    const net::Network& network,
+    const std::vector<const SomaClient*>& clients);
 
 }  // namespace soma::core

@@ -55,8 +55,25 @@ void SomaService::define_rpcs(net::Engine& engine) {
     datamodel::Node data;
     if (const auto* payload = args.find_child("data")) data = *payload;
     ++publishes_received_;
-    store_.append(ns, source, network_.simulation().now(), std::move(data));
+    // Replayed publishes (buffered by a client while this rank was down)
+    // carry their original publish time in "t"; honor it so the stored
+    // series reflects when the data was produced, not when it finally
+    // arrived. Live publishes keep the ingest-time stamp as before.
+    SimTime stamp = network_.simulation().now();
+    if (const auto* t = args.find_child("t")) {
+      stamp = SimTime{t->as_int64()};
+      ++replayed_publishes_;
+    }
+    store_.append(ns, source, stamp, std::move(data));
 
+    datamodel::Node ack;
+    ack["status"].set("ok");
+    return ack;
+  });
+
+  // Liveness probe used by degraded clients to detect collector recovery.
+  engine.define("soma.ping", [](const net::Address& /*caller*/,
+                                const datamodel::Node& /*args*/) {
     datamodel::Node ack;
     ack["status"].set("ok");
     return ack;
@@ -134,8 +151,11 @@ net::EngineStats SomaService::instance_stats(Namespace ns) const {
     }
     const net::EngineStats& s = engine->stats();
     total.requests_handled += s.requests_handled;
+    total.bulk_transfers += s.bulk_transfers;
     total.bytes_in += s.bytes_in;
     total.bytes_out += s.bytes_out;
+    total.retried_requests += s.retried_requests;
+    total.duplicate_responses += s.duplicate_responses;
     total.total_queue_delay += s.total_queue_delay;
     total.max_queue_delay = std::max(total.max_queue_delay, s.max_queue_delay);
     total.total_service_time += s.total_service_time;

@@ -82,6 +82,11 @@ class SomaService {
   [[nodiscard]] std::uint64_t publishes_received() const {
     return publishes_received_;
   }
+  /// Publishes that arrived via a client's buffer-and-replay path (they
+  /// carried an original-publish timestamp).
+  [[nodiscard]] std::uint64_t replayed_publishes() const {
+    return replayed_publishes_;
+  }
   /// Aggregate engine stats over all ranks of one namespace instance.
   [[nodiscard]] net::EngineStats instance_stats(Namespace ns) const;
   /// Max queueing delay seen by any rank (the saturation signal).
@@ -97,6 +102,7 @@ class SomaService {
   std::vector<InstanceInfo> instances_;
   std::map<std::string, Analyzer> analyzers_;
   std::uint64_t publishes_received_ = 0;
+  std::uint64_t replayed_publishes_ = 0;
 };
 
 }  // namespace soma::core

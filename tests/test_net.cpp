@@ -107,6 +107,26 @@ TEST_F(NetworkTest, UnbindStopsDelivery) {
   EXPECT_EQ(network.messages_dropped(), 1u);
 }
 
+TEST_F(NetworkTest, DropsCountedPerDestination) {
+  // In-flight messages lost to an unbind (or an unbound destination) are
+  // attributed to the destination address, not just a global counter.
+  const Address gone = make_address(1, 1);
+  const Address alive = make_address(2, 1);
+  network.bind(gone, [](const Address&, std::vector<std::byte>) {});
+  network.bind(alive, [](const Address&, std::vector<std::byte>) {});
+  network.bind(make_address(0, 1), [](const Address&, std::vector<std::byte>) {});
+  network.send(make_address(0, 1), gone, {});
+  network.send(make_address(0, 1), gone, {});
+  network.send(make_address(0, 1), alive, {});
+  network.unbind(gone);
+  simulation.run();
+
+  EXPECT_EQ(network.messages_dropped(), 2u);
+  const auto& drops = network.drops_by_endpoint();
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_EQ(drops.at(gone), 2u);
+}
+
 TEST_F(NetworkTest, Accounting) {
   network.bind(make_address(1, 1), [](const Address&, std::vector<std::byte>) {});
   network.bind(make_address(0, 1), [](const Address&, std::vector<std::byte>) {});

@@ -19,6 +19,11 @@ int main(int argc, char** argv) {
   bench::header("Figure 10",
                 "DDMD Scaling A: 64 pipelines, SOMA rank ratio x shared/excl");
 
+  // `--store-backend log` swaps the storage backend under the sharded store.
+  // Absent, the default map backend keeps output byte-identical to earlier
+  // builds.
+  const core::StorageConfig storage = bench::parse_store_backend(argc, argv);
+
   // `--fault-seed N` reruns the sweep on a lossy fabric (1% drops, 2% latency
   // spikes) with client retry + buffer-and-replay enabled. Without the flag
   // the fabric is perfect and the output is byte-identical to earlier builds.
@@ -47,6 +52,7 @@ int main(int argc, char** argv) {
   for (const auto& [nodes, ranks] : setups) {
     for (SomaMode mode : {SomaMode::kExclusive, SomaMode::kShared}) {
       auto config = DdmdExperimentConfig::scaling_a(nodes, ranks, mode);
+      config.storage = storage;
       if (faults_enabled) {
         config.faults.enabled = true;
         config.faults.fault_seed = fault_seed;

@@ -22,6 +22,10 @@ int main(int argc, char** argv) {
   bench::header("Figure 11",
                 "DDMD Scaling B: pipeline-runtime distributions per config");
 
+  // `--store-backend log` swaps the storage backend under the sharded
+  // store; the default map backend keeps output byte-identical.
+  const core::StorageConfig storage = bench::parse_store_backend(argc, argv);
+
   int max_scale = 512;
   std::uint64_t fault_seed = 0;
   bool faults_enabled = false;
@@ -59,6 +63,7 @@ int main(int argc, char** argv) {
     for (const auto& config : configs) {
       auto experiment = DdmdExperimentConfig::scaling_b(
           scale, config.mode, Duration::seconds(config.period_s));
+      experiment.storage = storage;
       if (faults_enabled) {
         experiment.faults.enabled = true;
         experiment.faults.fault_seed = fault_seed;

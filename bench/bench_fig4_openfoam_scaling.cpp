@@ -11,11 +11,15 @@
 using namespace soma;
 using namespace soma::experiments;
 
-int main() {
+int main(int argc, char** argv) {
   bench::header("Figure 4", "OpenFOAM task strong scaling (overloaded run)");
 
-  const OpenFoamResult result =
-      run_openfoam_experiment(OpenFoamExperimentConfig::overloaded());
+  // `--store-backend log` swaps the storage backend under the sharded store.
+  const core::StorageConfig storage = bench::parse_store_backend(argc, argv);
+
+  auto config = OpenFoamExperimentConfig::overloaded();
+  config.storage = storage;
+  const OpenFoamResult result = run_openfoam_experiment(config);
 
   TextTable table({"MPI ranks", "nodes", "instances", "exec time (s)",
                    "speedup vs 20", "bar"});

@@ -14,13 +14,17 @@
 using namespace soma;
 using namespace soma::experiments;
 
-int main() {
+int main(int argc, char** argv) {
   bench::header("Figure 5",
                 "TAU profile: per-rank MPI time of one 164-rank task");
 
+  // `--store-backend log` swaps the storage backend under the sharded store.
+  const core::StorageConfig storage = bench::parse_store_backend(argc, argv);
+
   // The tuning run is enough: it publishes one 164-rank profile.
-  const OpenFoamResult result =
-      run_openfoam_experiment(OpenFoamExperimentConfig::tuning());
+  auto config = OpenFoamExperimentConfig::tuning();
+  config.storage = storage;
+  const OpenFoamResult result = run_openfoam_experiment(config);
   const profiler::TauProfile& profile = result.sample_profile;
   if (profile.ranks.empty()) {
     std::printf("ERROR: no TAU profile captured\n");

@@ -13,16 +13,20 @@
 using namespace soma;
 using namespace soma::experiments;
 
-int main() {
+int main(int argc, char** argv) {
   bench::header("Figure 6",
                 "OpenFOAM execution time by node spread (20 / 41 ranks)");
+
+  // `--store-backend log` swaps the storage backend under the sharded store.
+  const core::StorageConfig storage = bench::parse_store_backend(argc, argv);
 
   // Aggregate several seeds: one overloaded run yields few distinct spread
   // groups, and the figure is a distribution.
   std::map<std::pair<int, int>, std::vector<double>> by_spread;
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-    const OpenFoamResult result =
-        run_openfoam_experiment(OpenFoamExperimentConfig::overloaded(seed));
+    auto config = OpenFoamExperimentConfig::overloaded(seed);
+    config.storage = storage;
+    const OpenFoamResult result = run_openfoam_experiment(config);
     for (const auto& [key, times] : result.by_spread) {
       auto& bucket = by_spread[key];
       bucket.insert(bucket.end(), times.begin(), times.end());

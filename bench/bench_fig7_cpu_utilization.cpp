@@ -15,12 +15,16 @@
 using namespace soma;
 using namespace soma::experiments;
 
-int main() {
+int main(int argc, char** argv) {
   bench::header("Figure 7",
                 "per-node CPU utilization, OpenFOAM tuning workflow");
 
-  const OpenFoamResult result =
-      run_openfoam_experiment(OpenFoamExperimentConfig::tuning());
+  // `--store-backend log` swaps the storage backend under the sharded store.
+  const core::StorageConfig storage = bench::parse_store_backend(argc, argv);
+
+  auto config = OpenFoamExperimentConfig::tuning();
+  config.storage = storage;
+  const OpenFoamResult result = run_openfoam_experiment(config);
 
   // Time-bucketed utilization chart, one row per sample time, one column
   // per host (agent/SOMA node first, then workers).

@@ -27,13 +27,18 @@ void report(const char* name, const OpenFoamResult& result) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::header("Figure 8", "RP resource utilization maps (OpenFOAM)");
 
-  const OpenFoamResult overload =
-      run_openfoam_experiment(OpenFoamExperimentConfig::overloaded());
-  const OpenFoamResult tuning =
-      run_openfoam_experiment(OpenFoamExperimentConfig::tuning());
+  // `--store-backend log` swaps the storage backend under the sharded store.
+  const core::StorageConfig storage = bench::parse_store_backend(argc, argv);
+
+  auto overload_config = OpenFoamExperimentConfig::overloaded();
+  overload_config.storage = storage;
+  auto tuning_config = OpenFoamExperimentConfig::tuning();
+  tuning_config.storage = storage;
+  const OpenFoamResult overload = run_openfoam_experiment(overload_config);
+  const OpenFoamResult tuning = run_openfoam_experiment(tuning_config);
 
   report("top: overload workflow (10 worker nodes, 80 tasks)", overload);
   report("bottom: tuning workflow (4 worker nodes, 4 tasks)", tuning);

@@ -12,11 +12,15 @@
 using namespace soma;
 using namespace soma::experiments;
 
-int main() {
+int main(int argc, char** argv) {
   bench::header("Figure 9", "DDMD mini-app tuning: CPU utilization per phase");
 
-  const DdmdResult result =
-      run_ddmd_experiment(DdmdExperimentConfig::tuning());
+  // `--store-backend log` swaps the storage backend under the sharded store.
+  const core::StorageConfig storage = bench::parse_store_backend(argc, argv);
+
+  auto config = DdmdExperimentConfig::tuning();
+  config.storage = storage;
+  const DdmdResult result = run_ddmd_experiment(config);
 
   TextTable table({"phase", "cores/sim", "cores/train", "span (s)",
                    "mean CPU util", "mean GPU util", "CPU bar"});

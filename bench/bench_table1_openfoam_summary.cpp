@@ -10,11 +10,16 @@
 using namespace soma;
 using namespace soma::experiments;
 
-int main() {
+int main(int argc, char** argv) {
   bench::header("Table 1", "OpenFOAM experiment summary");
 
-  const auto tuning = OpenFoamExperimentConfig::tuning();
-  const auto overload = OpenFoamExperimentConfig::overloaded();
+  // `--store-backend log` swaps the storage backend under the sharded store.
+  const core::StorageConfig storage = bench::parse_store_backend(argc, argv);
+
+  auto tuning = OpenFoamExperimentConfig::tuning();
+  tuning.storage = storage;
+  auto overload = OpenFoamExperimentConfig::overloaded();
+  overload.storage = storage;
 
   TextTable table({"Experiment", "Tuning", "Overload"});
   table.add_row({"Number of Tasks",
@@ -48,6 +53,24 @@ int main() {
                     std::to_string(overload_result.node_utilization.size()),
                     bench::fmt(overload_result.makespan_seconds)});
   std::printf("%s", realized.to_string().c_str());
+
+  bench::section("store shard balance (records routed per service rank)");
+  TextTable shards({"run", "shards", "records/shard min", "max", "imbalance"});
+  const std::pair<const char*, const OpenFoamResult*> shard_runs[] = {
+      {"tuning", &tuning_result}, {"overload", &overload_result}};
+  for (const auto& [name, r] : shard_runs) {
+    const double imbalance =
+        r->shard_records_min == 0
+            ? 0.0
+            : static_cast<double>(r->shard_records_max) /
+                  static_cast<double>(r->shard_records_min);
+    shards.add_row({name, std::to_string(r->store_shards),
+                    std::to_string(r->shard_records_min),
+                    std::to_string(r->shard_records_max),
+                    r->store_shards > 1 ? bench::fmt(imbalance, 2) + "x"
+                                        : "n/a"});
+  }
+  std::printf("%s", shards.to_string().c_str());
 
   bench::paper_vs_measured("tuning tasks", "4",
                            std::to_string(tuning_result.tasks.size()));

@@ -10,8 +10,11 @@
 using namespace soma;
 using namespace soma::experiments;
 
-int main() {
+int main(int argc, char** argv) {
   bench::header("Table 2", "DeepDriveMD mini-app experiment summary");
+
+  // `--store-backend log` swaps the storage backend under the sharded store.
+  const core::StorageConfig storage = bench::parse_store_backend(argc, argv);
 
   TextTable table({"Experiment", "Phases (n)", "Pipelines (m)", "App Nodes",
                    "SOMA Nodes", "Cores/Sim", "Train Tasks", "Cores/Train",
@@ -27,9 +30,12 @@ int main() {
   std::printf("%s", table.to_string().c_str());
 
   bench::section("realized runs (Tuning and Adaptive executed end-to-end)");
-  const DdmdResult tuning = run_ddmd_experiment(DdmdExperimentConfig::tuning());
-  const DdmdResult adaptive =
-      run_ddmd_experiment(DdmdExperimentConfig::adaptive());
+  auto tuning_config = DdmdExperimentConfig::tuning();
+  tuning_config.storage = storage;
+  auto adaptive_config = DdmdExperimentConfig::adaptive();
+  adaptive_config.storage = storage;
+  const DdmdResult tuning = run_ddmd_experiment(tuning_config);
+  const DdmdResult adaptive = run_ddmd_experiment(adaptive_config);
 
   TextTable realized({"run", "phases", "pipeline time (s)", "SOMA publishes",
                       "advice recorded"});
@@ -44,6 +50,24 @@ int main() {
                     std::to_string(adaptive.soma_publishes),
                     std::to_string(adaptive.adaptive_advice.size())});
   std::printf("%s", realized.to_string().c_str());
+
+  bench::section("store shard balance (records routed per service rank)");
+  TextTable shards({"run", "shards", "records/shard min", "max", "imbalance"});
+  const std::pair<const char*, const DdmdResult*> shard_runs[] = {
+      {"tuning", &tuning}, {"adaptive", &adaptive}};
+  for (const auto& [name, r] : shard_runs) {
+    const double imbalance =
+        r->shard_records_min == 0
+            ? 0.0
+            : static_cast<double>(r->shard_records_max) /
+                  static_cast<double>(r->shard_records_min);
+    shards.add_row({name, std::to_string(r->store_shards),
+                    std::to_string(r->shard_records_min),
+                    std::to_string(r->shard_records_max),
+                    r->store_shards > 1 ? bench::fmt(imbalance, 2) + "x"
+                                        : "n/a"});
+  }
+  std::printf("%s", shards.to_string().c_str());
 
   bench::section("adaptive analysis between phases (paper Table 2, Adaptive)");
   for (const auto& advice : adaptive.adaptive_advice) {

@@ -15,8 +15,30 @@
 #include "common/table.hpp"
 #include "common/types.hpp"
 #include "datamodel/node.hpp"
+#include "soma/storage_backend.hpp"
 
 namespace soma::bench {
+
+/// Consume a `--store-backend <map|log>` argument pair from argv, if
+/// present, and return the selected storage config (defaults otherwise).
+/// The matched pair is removed from argv so positional parsing stays
+/// simple. Announces a non-default backend on stdout — benches that must
+/// stay byte-identical to their calibrated baselines print nothing extra
+/// when the flag is absent.
+inline core::StorageConfig parse_store_backend(int& argc, char** argv) {
+  core::StorageConfig storage;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != "--store-backend") continue;
+    check(i + 1 < argc, "--store-backend needs a value (map|log)");
+    storage.backend = core::parse_backend_kind(argv[i + 1]);
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+    std::printf("store backend: %s\n",
+                std::string(core::to_string(storage.backend)).c_str());
+    break;
+  }
+  return storage;
+}
 
 inline void header(const char* artifact, const char* description) {
   std::printf("\n================================================================\n");

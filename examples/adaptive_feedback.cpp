@@ -97,7 +97,7 @@ class AdaptiveWorkflow {
     if (adaptive_) {
       // In-situ analysis on the data SOMA already holds...
       const auto hardware =
-          analysis::analyze_hardware(deployment_.service().store());
+          analysis::analyze_hardware(deployment_.service().store_view());
       const auto advice = analysis::advise_ddmd(
           hardware, session_.scheduler().free_app_gpus(), train_tasks_);
       record.advice = advice.rationale;

@@ -86,20 +86,20 @@ int main() {
   session.run();
 
   // ---- read the figure-of-merit series back out of the APP namespace ----
-  const core::DataStore& store = deployment->service().store();
+  const core::StoreView store = deployment->service().store_view();
   std::printf("figure-of-merit series (APP namespace, %llu commits):\n",
               static_cast<unsigned long long>(instrument->commits()));
   TextTable table({"t (min)", "atom-timesteps/s", "progress", "trend"});
-  const auto& series =
+  const auto series =
       store.series(core::Namespace::kApplication, "md.run42");
   double previous = 0.0;
-  for (const auto& record : series) {
+  for (const auto* record : series) {
     const auto& metrics =
-        record.data.fetch_existing("md.run42").child_at(0);
+        record->data.fetch_existing("md.run42").child_at(0);
     const double fom =
         metrics.fetch_existing("atom_timesteps_per_s").as_float64();
     table.add_row(
-        {format_seconds(record.time.to_seconds() / 60.0, 1),
+        {format_seconds(record->time.to_seconds() / 60.0, 1),
          format_seconds(fom / 1e6, 1) + "M",
          format_seconds(metrics.fetch_existing("progress").as_float64(), 2),
          previous == 0.0 ? "" : (fom >= previous ? "up" : "down")});

@@ -8,6 +8,7 @@
 // Run:  ./build/examples/quickstart
 
 #include <cstdio>
+#include <string>
 
 #include "analysis/advisor.hpp"
 #include "common/table.hpp"
@@ -17,7 +18,20 @@
 
 using namespace soma;
 
-int main() {
+namespace {
+
+/// Place the exported store next to the binary (under the build tree), not
+/// in whatever directory the example happens to be run from.
+std::string output_path(const char* argv0, const std::string& filename) {
+  const std::string self(argv0);
+  const std::size_t slash = self.find_last_of('/');
+  if (slash == std::string::npos) return filename;
+  return self.substr(0, slash + 1) + filename;
+}
+
+}  // namespace
+
+int main(int /*argc*/, char** argv) {
   // A 3-node machine: node 0 hosts the RP agent + SOMA service, nodes 1-2
   // run application tasks.
   rp::SessionConfig session_config;
@@ -74,7 +88,7 @@ int main() {
   session.run();
 
   // ---- read the observability data back out of SOMA ----
-  const core::DataStore& store = deployment->service().store();
+  const core::StoreView store = deployment->service().store_view();
 
   std::printf("\nWorkflow progress (from the SOMA workflow namespace):\n");
   TextTable progress({"t (s)", "pending", "executing", "done", "thr/min"});
@@ -105,11 +119,10 @@ int main() {
               deployment->mean_client_ack_latency_ms());
 
   // Post-mortem: archive the store for tools/soma_inspect.
-  const std::size_t exported =
-      core::export_store_to_file(store, "quickstart_store.jsonl");
-  std::printf("exported %zu records to quickstart_store.jsonl "
-              "(inspect with: ./build/tools/soma_inspect "
-              "quickstart_store.jsonl)\n",
-              exported);
+  const std::string path = output_path(argv[0], "quickstart_store.jsonl");
+  const std::size_t exported = core::export_store_to_file(store, path);
+  std::printf("exported %zu records to %s "
+              "(inspect with: ./build/tools/soma_inspect %s)\n",
+              exported, path.c_str(), path.c_str());
   return 0;
 }

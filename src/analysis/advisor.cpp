@@ -61,19 +61,19 @@ std::vector<std::string> FreeResourceReport::underutilized(
   return out;
 }
 
-FreeResourceReport analyze_hardware(const core::DataStore& store) {
+FreeResourceReport analyze_hardware(const core::StoreView& view) {
   FreeResourceReport report;
   for (const std::string& host :
-       store.sources(core::Namespace::kHardware)) {
+       view.sources(core::Namespace::kHardware)) {
     FreeResourceReport::NodeReport node;
     node.hostname = host;
-    const auto& series = store.series(core::Namespace::kHardware, host);
+    const auto series = view.series(core::Namespace::kHardware, host);
     double sum = 0.0;
     std::size_t count = 0;
     double gpu_sum = 0.0;
     std::size_t gpu_count = 0;
-    for (const auto& record : series) {
-      const auto* host_node = record.data.find_child(host);
+    for (const auto* record : series) {
+      const auto* host_node = record->data.find_child(host);
       if (host_node == nullptr) continue;
       if (const auto* util = host_node->find_child("cpu_utilization")) {
         const double u = util->to_float64();
@@ -104,15 +104,15 @@ FreeResourceReport analyze_hardware(const core::DataStore& store) {
   return report;
 }
 
-std::vector<ProgressPoint> workflow_progress(const core::DataStore& store,
+std::vector<ProgressPoint> workflow_progress(const core::StoreView& view,
                                              const std::string& source) {
   std::vector<ProgressPoint> out;
-  for (const auto& record :
-       store.series(core::Namespace::kWorkflow, source)) {
-    const auto* summary = record.data.find_child("summary");
+  for (const auto* record :
+       view.series(core::Namespace::kWorkflow, source)) {
+    const auto* summary = record->data.find_child("summary");
     if (summary == nullptr) continue;
     ProgressPoint point;
-    point.time = record.time;
+    point.time = record->time;
     point.done = summary->fetch_existing("tasks_done").as_int64();
     point.executing = summary->fetch_existing("tasks_executing").as_int64();
     point.pending = summary->fetch_existing("tasks_pending").as_int64();
@@ -124,11 +124,11 @@ std::vector<ProgressPoint> workflow_progress(const core::DataStore& store,
 }
 
 std::vector<std::pair<SimTime, std::string>> observed_task_starts(
-    const core::DataStore& store, const std::string& source) {
+    const core::StoreView& view, const std::string& source) {
   std::vector<std::pair<SimTime, std::string>> out;
-  for (const auto& record :
-       store.series(core::Namespace::kWorkflow, source)) {
-    const auto* events = record.data.find_child("events");
+  for (const auto* record :
+       view.series(core::Namespace::kWorkflow, source)) {
+    const auto* events = record->data.find_child("events");
     if (events == nullptr) continue;
     for (std::size_t u = 0; u < events->number_of_children(); ++u) {
       const std::string& uid = events->child_names()[u];

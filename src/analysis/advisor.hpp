@@ -1,7 +1,8 @@
 // In-situ analysis and adaptive advice (paper §4 and §6 / future work).
 //
-// These functions run against the SOMA service's DataStore — the data is
-// already "in SOMA's possession" — and compute the decisions the paper
+// These functions run against the SOMA service's store through the
+// scatter-gather StoreView — the data is already "in SOMA's possession",
+// sharded across the service ranks — and compute the decisions the paper
 // motivates: which MPI task configuration to use (Fig. 4), where free
 // resources are (Fig. 9 discussion), and how to reconfigure the next DDMD
 // phase (Table 2, "Adaptive"). The feedback loop into RP that the paper
@@ -54,10 +55,10 @@ struct FreeResourceReport {
       double threshold = 0.5) const;
 };
 
-/// Scan the hardware namespace of `store` and summarize per-node CPU
-/// utilization (uses the online `cpu_utilization` values the monitors
-/// attach to every snapshot).
-FreeResourceReport analyze_hardware(const core::DataStore& store);
+/// Scan the hardware namespace of the store behind `view` and summarize
+/// per-node CPU utilization (uses the online `cpu_utilization` values the
+/// monitors attach to every snapshot).
+FreeResourceReport analyze_hardware(const core::StoreView& view);
 
 /// Workflow-progress series from the workflow namespace: one entry per
 /// monitor tick.
@@ -68,14 +69,14 @@ struct ProgressPoint {
   std::int64_t pending = 0;
   double throughput_per_min = 0.0;
 };
-std::vector<ProgressPoint> workflow_progress(const core::DataStore& store,
+std::vector<ProgressPoint> workflow_progress(const core::StoreView& view,
                                              const std::string& source =
                                                  "rp_monitor");
 
 /// Task-start times observed by the RP monitor (the orange dots of Fig. 7):
 /// rank_start events extracted from the published event blocks.
 std::vector<std::pair<SimTime, std::string>> observed_task_starts(
-    const core::DataStore& store,
+    const core::StoreView& view,
     const std::string& source = "rp_monitor");
 
 /// Adaptive recommendation for the DDMD mini-app (paper §4.3): given the

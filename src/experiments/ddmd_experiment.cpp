@@ -172,6 +172,7 @@ DdmdResult run_ddmd_experiment(const DdmdExperimentConfig& config) {
     deploy_config.rp_monitor.period = config.monitor_period;
     deploy_config.hw_monitor.period = config.monitor_period;
     deploy_config.client_reliability = config.reliability;
+    deploy_config.service.storage = config.storage;
     deployment = std::make_unique<SomaDeployment>(session, deploy_config);
 
     deployment->deploy([&] {
@@ -186,7 +187,7 @@ DdmdResult run_ddmd_experiment(const DdmdExperimentConfig& config) {
           if (pipeline != 0 || (stage + 1) % 4 != 0) return;
           if (!deployment->deployed()) return;
           const auto hardware =
-              analysis::analyze_hardware(deployment->service().store());
+              analysis::analyze_hardware(deployment->service().store_view());
           const int phase = static_cast<int>(stage) / 4;
           const auto advice = analysis::advise_ddmd(
               hardware, session.scheduler().free_app_gpus(),
@@ -221,17 +222,17 @@ DdmdResult run_ddmd_experiment(const DdmdExperimentConfig& config) {
   result.makespan_seconds = (*run_finished - *run_started).to_seconds();
 
   if (deployment->deployed()) {
-    const core::DataStore& store = deployment->service().store();
+    const core::StoreView store = deployment->service().store_view();
     for (const std::string& host :
          store.sources(core::Namespace::kHardware)) {
       auto& series = result.node_utilization[host];
-      for (const auto& record :
+      for (const auto* record :
            store.series(core::Namespace::kHardware, host)) {
-        if (const auto* node = record.data.find_child(host)) {
+        if (const auto* node = record->data.find_child(host)) {
           const auto* util = node->find_child("cpu_utilization");
           const auto* gpu = node->find_child("gpu_utilization");
           if (util != nullptr) {
-            series.emplace_back(record.time.to_seconds(), util->to_float64(),
+            series.emplace_back(record->time.to_seconds(), util->to_float64(),
                                 gpu != nullptr ? gpu->to_float64() : 0.0);
           }
         }
@@ -248,6 +249,9 @@ DdmdResult run_ddmd_experiment(const DdmdExperimentConfig& config) {
     result.rpc_retries = totals.rpc_retries;
     result.publish_failures = totals.publish_failures;
     result.failovers = totals.failovers;
+    result.store_shards = totals.store_shards;
+    result.shard_records_min = totals.shard_records_min;
+    result.shard_records_max = totals.shard_records_max;
 
     // Fig. 9: mean utilization of the *application* nodes within each phase
     // of pipeline 0 (stage spans come in groups of four per phase).

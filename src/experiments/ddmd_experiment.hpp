@@ -66,6 +66,10 @@ struct DdmdExperimentConfig {
   DdmdFaults faults{};
   core::ClientReliability reliability{};
 
+  /// Storage layer of the SOMA service (backend kind, shards; the default
+  /// auto-shards one per rank with the map backend).
+  core::StorageConfig storage{};
+
   // Presets matching Table 2.
   static DdmdExperimentConfig tuning(std::uint64_t seed = 1);
   static DdmdExperimentConfig adaptive(std::uint64_t seed = 1);
@@ -119,6 +123,11 @@ struct DdmdResult {
   std::uint64_t publish_failures = 0;
   std::uint64_t replayed_publishes = 0;
   std::uint64_t failovers = 0;
+
+  // Shard balance of the service store (Table 2 summary rows).
+  int store_shards = 0;
+  std::uint64_t shard_records_min = 0;
+  std::uint64_t shard_records_max = 0;
 };
 
 DdmdResult run_ddmd_experiment(const DdmdExperimentConfig& config);

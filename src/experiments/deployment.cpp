@@ -78,9 +78,9 @@ void SomaDeployment::register_standard_analyzers() {
   // service, only the result crosses the wire (paper §6: "in situ
   // processing for runtime decision actuation").
   service_->register_analyzer(
-      "hardware_report", [](const core::DataStore& store) {
+      "hardware_report", [](const core::StoreView& view) {
         datamodel::Node result;
-        const auto report = analysis::analyze_hardware(store);
+        const auto report = analysis::analyze_hardware(view);
         result["mean_cpu_utilization"].set(report.mean_utilization());
         result["mean_gpu_utilization"].set(report.mean_gpu_utilization());
         datamodel::Node& hosts = result["hosts"];
@@ -94,9 +94,9 @@ void SomaDeployment::register_standard_analyzers() {
         return result;
       });
   service_->register_analyzer(
-      "progress", [](const core::DataStore& store) {
+      "progress", [](const core::StoreView& view) {
         datamodel::Node result;
-        const auto progress = analysis::workflow_progress(store);
+        const auto progress = analysis::workflow_progress(view);
         if (!progress.empty()) {
           const auto& latest = progress.back();
           result["tasks_done"].set(latest.done);
@@ -316,6 +316,27 @@ SomaDeployment::ReliabilityTotals SomaDeployment::reliability_totals() const {
     totals.rpc_retries += e.retries;
     totals.rpc_timeouts += e.timeouts;
     totals.rpc_calls_failed += e.calls_failed;
+  }
+  if (service_ != nullptr) {
+    const core::DataStore& store = service_->store();
+    totals.store_shards = store.shard_count();
+    // Records/bytes per shard index, summed over namespaces, then min/max
+    // over shards: the shard-balance figure Table 1/2 summaries report.
+    std::vector<std::uint64_t> records(
+        static_cast<std::size_t>(store.shard_count()), 0);
+    std::vector<std::uint64_t> bytes(records.size(), 0);
+    for (const core::ShardCounters& c : store.shard_counters()) {
+      records[static_cast<std::size_t>(c.shard)] += c.records;
+      bytes[static_cast<std::size_t>(c.shard)] += c.bytes;
+    }
+    const auto [rec_min, rec_max] =
+        std::minmax_element(records.begin(), records.end());
+    const auto [byte_min, byte_max] =
+        std::minmax_element(bytes.begin(), bytes.end());
+    totals.shard_records_min = *rec_min;
+    totals.shard_records_max = *rec_max;
+    totals.shard_bytes_min = *byte_min;
+    totals.shard_bytes_max = *byte_max;
   }
   return totals;
 }

@@ -98,7 +98,10 @@ class SomaDeployment {
   [[nodiscard]] double max_client_ack_latency_ms() const;
 
   /// Aggregate reliability counters across every client the deployment
-  /// created (experiments report perturbation under faults from these).
+  /// created (experiments report perturbation under faults from these),
+  /// plus the shard balance of the service store: per shard index, records
+  /// and bytes summed over namespaces, then min/max over shards. A wide
+  /// min/max spread means the source hash routed load unevenly over ranks.
   struct ReliabilityTotals {
     std::uint64_t publish_failures = 0;
     std::uint64_t buffered = 0;
@@ -108,6 +111,11 @@ class SomaDeployment {
     std::uint64_t rpc_retries = 0;
     std::uint64_t rpc_timeouts = 0;
     std::uint64_t rpc_calls_failed = 0;
+    int store_shards = 0;
+    std::uint64_t shard_records_min = 0;
+    std::uint64_t shard_records_max = 0;
+    std::uint64_t shard_bytes_min = 0;
+    std::uint64_t shard_bytes_max = 0;
   };
   [[nodiscard]] ReliabilityTotals reliability_totals() const;
   /// The deployment's clients, for export_fault_report.

@@ -111,6 +111,7 @@ OpenFoamResult run_openfoam_experiment(
         config.soma_ranks_per_namespace;
     deploy_config.rp_monitor.period = config.rp_monitor_period;
     deploy_config.hw_monitor.period = config.hw_monitor_period;
+    deploy_config.service.storage = config.storage;
     deployment = std::make_unique<SomaDeployment>(session, deploy_config);
     deployment->enable_openfoam_tau(model);
     deployment->deploy([&] { submit_app_tasks(); });
@@ -158,17 +159,18 @@ OpenFoamResult run_openfoam_experiment(
           : 0.0;
 
   if (deployment && deployment->deployed()) {
-    const core::DataStore& store = deployment->service().store();
+    const core::StoreView store = deployment->service().store_view();
 
     // Fig. 7: utilization series per host + observed task starts.
     for (const std::string& host :
          store.sources(core::Namespace::kHardware)) {
       auto& series = result.node_utilization[host];
-      for (const auto& record :
+      for (const auto* record :
            store.series(core::Namespace::kHardware, host)) {
-        if (const auto* node = record.data.find_child(host)) {
+        if (const auto* node = record->data.find_child(host)) {
           if (const auto* util = node->find_child("cpu_utilization")) {
-            series.emplace_back(record.time.to_seconds(), util->to_float64());
+            series.emplace_back(record->time.to_seconds(),
+                                util->to_float64());
           }
         }
       }
@@ -184,11 +186,11 @@ OpenFoamResult run_openfoam_experiment(
                                             config.rank_configs.end());
     for (const auto& record : result.tasks) {
       if (record.ranks != max_ranks) continue;
-      const auto& series =
+      const auto series =
           store.series(core::Namespace::kPerformance, record.uid);
       if (series.empty()) continue;
       result.sample_profile =
-          profiler::TauProfile::from_node(record.uid, series.back().data);
+          profiler::TauProfile::from_node(record.uid, series.back()->data);
       break;
     }
 
@@ -197,6 +199,11 @@ OpenFoamResult run_openfoam_experiment(
     result.soma_max_queue_delay_ms =
         deployment->service().max_queue_delay().to_seconds() * 1e3;
     result.mean_ack_latency_ms = deployment->mean_client_ack_latency_ms();
+    const SomaDeployment::ReliabilityTotals totals =
+        deployment->reliability_totals();
+    result.store_shards = totals.store_shards;
+    result.shard_records_min = totals.shard_records_min;
+    result.shard_records_max = totals.shard_records_max;
   }
 
   return result;

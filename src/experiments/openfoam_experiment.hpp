@@ -35,6 +35,10 @@ struct OpenFoamExperimentConfig {
   workloads::OpenFoamParams params{};
   std::uint64_t seed = 1;
 
+  /// Storage layer of the SOMA service (backend kind, shards; the default
+  /// auto-shards one per rank with the map backend).
+  core::StorageConfig storage{};
+
   [[nodiscard]] static OpenFoamExperimentConfig tuning(std::uint64_t seed = 1);
   [[nodiscard]] static OpenFoamExperimentConfig overloaded(
       std::uint64_t seed = 1);
@@ -82,6 +86,11 @@ struct OpenFoamResult {
   std::uint64_t tau_profiles = 0;
   double soma_max_queue_delay_ms = 0.0;
   double mean_ack_latency_ms = 0.0;
+
+  // Shard balance of the service store (Table 1 summary rows).
+  int store_shards = 0;
+  std::uint64_t shard_records_min = 0;
+  std::uint64_t shard_records_max = 0;
 };
 
 /// Run the experiment end to end (builds its own Session) and extract every

@@ -4,21 +4,9 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "soma/storage_backend.hpp"
 
 namespace soma::core {
-namespace {
-
-std::size_t hash_source(const std::string& source) {
-  // FNV-1a: stable across runs and platforms (std::hash is not).
-  std::size_t h = 1469598103934665603ULL;
-  for (unsigned char c : source) {
-    h ^= c;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-}  // namespace
 
 SomaClient::SomaClient(net::Network& network, NodeId node, int port,
                        Namespace ns, std::vector<net::Address> instance_ranks,
@@ -47,7 +35,9 @@ SomaClient::SomaClient(net::Network& network, NodeId node, int port,
 SomaClient::~SomaClient() = default;
 
 std::size_t SomaClient::rank_index_for(const std::string& source) const {
-  return hash_source(source) % instance_ranks_.size();
+  // Same stable hash the store uses for shard routing: with one shard per
+  // rank, the rank a source publishes to owns the shard it hashes to.
+  return route_source(source, instance_ranks_.size());
 }
 
 const net::Address& SomaClient::rank_for(const std::string& source) const {

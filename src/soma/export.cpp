@@ -8,16 +8,16 @@
 
 namespace soma::core {
 
-std::size_t export_store(const DataStore& store, std::ostream& out) {
+std::size_t export_store(const StoreView& view, std::ostream& out) {
   std::size_t lines = 0;
   for (Namespace ns : kAllNamespaces) {
-    for (const std::string& source : store.sources(ns)) {
-      for (const TimedRecord& record : store.series(ns, source)) {
+    for (const std::string& source : view.sources(ns)) {
+      for (const TimedRecord* record : view.series(ns, source)) {
         datamodel::Node line;
         line["ns"].set(std::string(to_string(ns)));
         line["source"].set(source);
-        line["t"].set(record.time.nanos());
-        line["data"] = record.data;
+        line["t"].set(record->time.nanos());
+        line["data"] = record->data;
         out << line.to_json() << '\n';
         ++lines;
       }
@@ -26,11 +26,25 @@ std::size_t export_store(const DataStore& store, std::ostream& out) {
   return lines;
 }
 
-std::size_t export_store_to_file(const DataStore& store,
+std::size_t export_store_to_file(const StoreView& view,
                                  const std::string& path) {
   std::ofstream out(path);
   if (!out) throw ConfigError("export_store: cannot open " + path);
-  return export_store(store, out);
+  return export_store(view, out);
+}
+
+datamodel::Node export_shard_report(const DataStore& store) {
+  datamodel::Node report;
+  report["backend"].set(std::string(to_string(store.backend_kind())));
+  report["shard_count"].set(static_cast<std::int64_t>(store.shard_count()));
+  for (const ShardCounters& counters : store.shard_counters()) {
+    datamodel::Node& entry =
+        report[std::string(to_string(counters.ns))]
+              ["shard_" + std::to_string(counters.shard)];
+    entry["records"].set(static_cast<std::int64_t>(counters.records));
+    entry["bytes"].set(static_cast<std::int64_t>(counters.bytes));
+  }
+  return report;
 }
 
 bool parse_export_line(const std::string& line, ExportedRecord& record) {

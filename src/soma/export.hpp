@@ -15,16 +15,26 @@
 
 namespace soma::core {
 
-/// Serialize every record of `store` to `out`, one JSON object per line:
+/// Serialize every record visible through `view` to `out`, one JSON object
+/// per line:
 ///   {"ns":"hardware","source":"cn0001","t":123456789,"data":{...}}
-/// Records are written namespace-major, source-major, time-ascending.
+/// Records are written namespace-major, source-major, time-ascending —
+/// scatter-gathered across shards, so the same data produces the same file
+/// regardless of shard count or backend.
 /// Returns the number of lines written.
-std::size_t export_store(const DataStore& store, std::ostream& out);
+std::size_t export_store(const StoreView& view, std::ostream& out);
+inline std::size_t export_store(const DataStore& store, std::ostream& out) {
+  return export_store(store.view(), out);
+}
 
 /// Convenience: export to a file path. Throws ConfigError when the file
 /// cannot be opened.
-std::size_t export_store_to_file(const DataStore& store,
+std::size_t export_store_to_file(const StoreView& view,
                                  const std::string& path);
+inline std::size_t export_store_to_file(const DataStore& store,
+                                        const std::string& path) {
+  return export_store_to_file(store.view(), path);
+}
 
 /// Parse one exported line back into (namespace, source, time, data).
 /// Returns false on a blank line; throws LookupError on malformed input.
@@ -42,6 +52,11 @@ bool parse_export_line(const std::string& line, ExportedRecord& record);
 std::size_t import_store(DataStore& store, std::istream& in);
 
 std::size_t import_store_from_file(DataStore& store, const std::string& path);
+
+/// Per-shard ingest counters of `store` as a Node: backend kind, shard
+/// count, and records/bytes per (namespace, shard). Table 1/2 summaries
+/// attach this so shard balance is visible next to the reliability totals.
+datamodel::Node export_shard_report(const DataStore& store);
 
 /// Build a report of the network's fault/drop counters: totals, drops by
 /// cause (when a FaultInjector is installed) and drops by destination

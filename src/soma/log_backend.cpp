@@ -1,0 +1,110 @@
+#include "soma/log_backend.hpp"
+
+#include <algorithm>
+
+namespace soma::core {
+namespace {
+
+std::vector<const TimedRecord*>::const_iterator lower_bound_time(
+    const std::vector<const TimedRecord*>& index, SimTime t) {
+  return std::lower_bound(
+      index.begin(), index.end(), t,
+      [](const TimedRecord* record, SimTime at) { return record->time < at; });
+}
+
+std::vector<const TimedRecord*>::const_iterator upper_bound_time(
+    std::vector<const TimedRecord*>::const_iterator first,
+    std::vector<const TimedRecord*>::const_iterator last, SimTime t) {
+  return std::upper_bound(
+      first, last, t,
+      [](SimTime at, const TimedRecord* record) { return at < record->time; });
+}
+
+}  // namespace
+
+LogBackend::LogBackend(std::size_t latest_cache_capacity)
+    : cache_capacity_(std::max<std::size_t>(1, latest_cache_capacity)) {}
+
+void LogBackend::append(const std::string& source, SimTime time,
+                        datamodel::Node data) {
+  bytes_ += data.packed_size();
+  ++records_;
+  log_.push_back(TimedRecord{time, std::move(data)});
+  const TimedRecord* stored = &log_.back();
+
+  std::vector<const TimedRecord*>& index = index_[source];
+  const bool is_newest = index.empty() || !(time < index.back()->time);
+  if (is_newest) {
+    index.push_back(stored);
+  } else {
+    // Late arrival (replayed publish): keep the index time-sorted.
+    const auto at = upper_bound_time(index.begin(), index.end(), time);
+    index.insert(index.begin() + (at - index.cbegin()), stored);
+  }
+
+  // Keep the snapshot cache coherent: a cached entry must always point at
+  // the newest record of its source.
+  const auto cached = cache_map_.find(source);
+  if (cached != cache_map_.end()) {
+    if (is_newest) cached->second->record = stored;
+  } else if (is_newest) {
+    cache_put(source, stored);
+  }
+}
+
+const TimedRecord* LogBackend::touch(
+    std::list<CacheEntry>::iterator it) const {
+  cache_.splice(cache_.begin(), cache_, it);
+  return it->record;
+}
+
+void LogBackend::cache_put(const std::string& source,
+                           const TimedRecord* record) const {
+  if (cache_.size() >= cache_capacity_) {
+    cache_map_.erase(cache_.back().source);
+    cache_.pop_back();
+  }
+  cache_.push_front(CacheEntry{source, record});
+  cache_map_[source] = cache_.begin();
+}
+
+const TimedRecord* LogBackend::latest(const std::string& source) const {
+  const auto cached = cache_map_.find(source);
+  if (cached != cache_map_.end()) {
+    ++hits_;
+    return touch(cached->second);
+  }
+  ++misses_;
+  const auto it = index_.find(source);
+  if (it == index_.end() || it->second.empty()) return nullptr;
+  const TimedRecord* record = it->second.back();
+  cache_put(source, record);
+  return record;
+}
+
+std::vector<const TimedRecord*> LogBackend::series(
+    const std::string& source) const {
+  const auto it = index_.find(source);
+  return it == index_.end() ? std::vector<const TimedRecord*>{} : it->second;
+}
+
+std::vector<const TimedRecord*> LogBackend::range(const std::string& source,
+                                                  SimTime from,
+                                                  SimTime to) const {
+  std::vector<const TimedRecord*> out;
+  const auto it = index_.find(source);
+  if (it == index_.end()) return out;
+  const auto first = lower_bound_time(it->second, from);
+  const auto last = upper_bound_time(first, it->second.cend(), to);
+  out.assign(first, last);
+  return out;
+}
+
+std::vector<std::string> LogBackend::sources() const {
+  std::vector<std::string> out;
+  out.reserve(index_.size());
+  for (const auto& [source, index] : index_) out.push_back(source);
+  return out;
+}
+
+}  // namespace soma::core

@@ -1,0 +1,77 @@
+#include "soma/map_backend.hpp"
+
+#include <algorithm>
+
+namespace soma::core {
+namespace {
+
+/// First record at or after `t` in a time-sorted vector.
+std::vector<TimedRecord>::const_iterator lower_bound_time(
+    const std::vector<TimedRecord>& records, SimTime t) {
+  return std::lower_bound(
+      records.begin(), records.end(), t,
+      [](const TimedRecord& record, SimTime at) { return record.time < at; });
+}
+
+}  // namespace
+
+void MapBackend::append(const std::string& source, SimTime time,
+                        datamodel::Node data) {
+  bytes_ += data.packed_size();
+  ++records_;
+  std::vector<TimedRecord>& series = by_source_[source];
+  // Series are appended at service-ingest time and so arrive time-sorted;
+  // a late record (client replay across a failover) is inserted in place so
+  // the sorted-series invariant every query relies on holds regardless.
+  if (series.empty() || !(time < series.back().time)) {
+    series.push_back(TimedRecord{time, std::move(data)});
+    return;
+  }
+  const auto at = std::upper_bound(
+      series.begin(), series.end(), time,
+      [](SimTime t, const TimedRecord& record) { return t < record.time; });
+  series.insert(at, TimedRecord{time, std::move(data)});
+}
+
+const TimedRecord* MapBackend::latest(const std::string& source) const {
+  const auto it = by_source_.find(source);
+  if (it == by_source_.end() || it->second.empty()) return nullptr;
+  return &it->second.back();
+}
+
+std::vector<const TimedRecord*> MapBackend::series(
+    const std::string& source) const {
+  std::vector<const TimedRecord*> out;
+  const auto it = by_source_.find(source);
+  if (it == by_source_.end()) return out;
+  out.reserve(it->second.size());
+  for (const TimedRecord& record : it->second) out.push_back(&record);
+  return out;
+}
+
+std::vector<const TimedRecord*> MapBackend::range(const std::string& source,
+                                                  SimTime from,
+                                                  SimTime to) const {
+  std::vector<const TimedRecord*> out;
+  const auto it = by_source_.find(source);
+  if (it == by_source_.end()) return out;
+  const std::vector<TimedRecord>& records = it->second;
+  const auto first = lower_bound_time(records, from);
+  const auto last = std::upper_bound(
+      first, records.end(), to,
+      [](SimTime t, const TimedRecord& record) { return t < record.time; });
+  out.reserve(static_cast<std::size_t>(last - first));
+  for (auto record = first; record != last; ++record) {
+    out.push_back(&*record);
+  }
+  return out;
+}
+
+std::vector<std::string> MapBackend::sources() const {
+  std::vector<std::string> out;
+  out.reserve(by_source_.size());
+  for (const auto& [source, series] : by_source_) out.push_back(source);
+  return out;  // std::map iteration is already sorted
+}
+
+}  // namespace soma::core

@@ -1,0 +1,38 @@
+// The historical DataStore layout as a StorageBackend: one std::map from
+// source to a contiguous, time-sorted vector of records.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "soma/storage_backend.hpp"
+
+namespace soma::core {
+
+class MapBackend final : public StorageBackend {
+ public:
+  void append(const std::string& source, SimTime time,
+              datamodel::Node data) override;
+  [[nodiscard]] const TimedRecord* latest(
+      const std::string& source) const override;
+  [[nodiscard]] std::vector<const TimedRecord*> series(
+      const std::string& source) const override;
+  [[nodiscard]] std::vector<const TimedRecord*> range(
+      const std::string& source, SimTime from, SimTime to) const override;
+  [[nodiscard]] std::vector<std::string> sources() const override;
+  [[nodiscard]] std::uint64_t record_count() const override { return records_; }
+  [[nodiscard]] std::uint64_t ingested_bytes() const override {
+    return bytes_;
+  }
+  [[nodiscard]] StorageBackendKind kind() const override {
+    return StorageBackendKind::kMap;
+  }
+
+ private:
+  std::map<std::string, std::vector<TimedRecord>> by_source_;
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace soma::core

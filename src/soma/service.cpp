@@ -5,10 +5,25 @@
 #include "common/error.hpp"
 
 namespace soma::core {
+namespace {
+
+/// Resolve the auto shard count: one shard per rank of a namespace
+/// instance, so each rank owns exactly the shard its publishes land in.
+StorageConfig resolved_storage(const ServiceConfig& config) {
+  StorageConfig storage = config.storage;
+  if (storage.shards_per_namespace == 0) {
+    storage.shards_per_namespace = std::max(1, config.ranks_per_namespace);
+  }
+  return storage;
+}
+
+}  // namespace
 
 SomaService::SomaService(net::Network& network, std::vector<NodeId> nodes,
                          ServiceConfig config)
-    : network_(network), config_(std::move(config)) {
+    : network_(network),
+      config_(std::move(config)),
+      store_(resolved_storage(config_)) {
   if (nodes.empty()) throw ConfigError("SOMA service needs at least one node");
   if (config_.ranks_per_namespace <= 0) {
     throw ConfigError("ranks_per_namespace must be > 0");
@@ -30,7 +45,7 @@ SomaService::SomaService(net::Network& network, std::vector<NodeId> nodes,
           net::make_address(node, config_.base_port + rank_index);
       auto engine =
           std::make_unique<net::Engine>(network_, address, config_.cost);
-      define_rpcs(*engine);
+      define_rpcs(*engine, r);
       info.ranks.push_back(std::move(address));
       engines_.push_back(std::move(engine));
     }
@@ -46,9 +61,10 @@ const InstanceInfo& SomaService::instance(Namespace ns) const {
                     std::string(to_string(ns)));
 }
 
-void SomaService::define_rpcs(net::Engine& engine) {
-  engine.define("soma.publish", [this](const net::Address& /*caller*/,
-                                       const datamodel::Node& args) {
+void SomaService::define_rpcs(net::Engine& engine, int shard_index) {
+  engine.define("soma.publish", [this, shard_index](
+                                    const net::Address& /*caller*/,
+                                    const datamodel::Node& args) {
     const Namespace ns =
         parse_namespace(args.fetch_existing("ns").as_string());
     const std::string& source = args.fetch_existing("source").as_string();
@@ -64,7 +80,10 @@ void SomaService::define_rpcs(net::Engine& engine) {
       stamp = SimTime{t->as_int64()};
       ++replayed_publishes_;
     }
-    store_.append(ns, source, stamp, std::move(data));
+    // The receiving rank ingests into its own shard. Under normal routing
+    // this is the shard the source hashes to; after a failover the source's
+    // records straddle shards and the StoreView merge reunifies them.
+    store_.shard(ns, shard_index).append(source, stamp, std::move(data));
 
     datamodel::Node ack;
     ack["status"].set("ok");
@@ -82,12 +101,13 @@ void SomaService::define_rpcs(net::Engine& engine) {
   engine.define("soma.query", [this](const net::Address& /*caller*/,
                                      const datamodel::Node& args) {
     datamodel::Node reply;
+    const StoreView view = store_.view();
     const std::string& kind = args.fetch_existing("kind").as_string();
     if (kind == "latest") {
       const Namespace ns =
           parse_namespace(args.fetch_existing("ns").as_string());
       const std::string& source = args.fetch_existing("source").as_string();
-      if (const TimedRecord* record = store_.latest(ns, source)) {
+      if (const TimedRecord* record = view.latest(ns, source)) {
         reply["time"].set(record->time.nanos());
         reply["data"] = record->data;
       } else {
@@ -97,17 +117,34 @@ void SomaService::define_rpcs(net::Engine& engine) {
       const Namespace ns =
           parse_namespace(args.fetch_existing("ns").as_string());
       datamodel::Node& list = reply["sources"];
-      for (const std::string& source : store_.sources(ns)) {
-        list[source].set(static_cast<std::int64_t>(
-            store_.series(ns, source).size()));
+      for (const std::string& source : view.sources(ns)) {
+        list[source].set(
+            static_cast<std::int64_t>(view.series(ns, source).size()));
       }
     } else if (kind == "stats") {
       for (Namespace ns : config_.namespaces) {
         datamodel::Node& entry = reply[std::string(to_string(ns))];
         entry["records"].set(
-            static_cast<std::int64_t>(store_.record_count(ns)));
+            static_cast<std::int64_t>(view.record_count(ns)));
         entry["bytes"].set(
-            static_cast<std::int64_t>(store_.ingested_bytes(ns)));
+            static_cast<std::int64_t>(view.ingested_bytes(ns)));
+      }
+    } else if (kind == "shards") {
+      // Per-shard ingest balance: how evenly the source hash spread load
+      // over the ranks' shards (Table 1/2 shard-balance summaries).
+      reply["backend"].set(std::string(to_string(store_.backend_kind())));
+      reply["shard_count"].set(
+          static_cast<std::int64_t>(store_.shard_count()));
+      for (Namespace ns : config_.namespaces) {
+        datamodel::Node& entry = reply[std::string(to_string(ns))];
+        for (int i = 0; i < store_.shard_count(); ++i) {
+          const StorageBackend& shard = store_.shard(ns, i);
+          datamodel::Node& slot = entry["shard_" + std::to_string(i)];
+          slot["records"].set(
+              static_cast<std::int64_t>(shard.record_count()));
+          slot["bytes"].set(
+              static_cast<std::int64_t>(shard.ingested_bytes()));
+        }
       }
     } else if (kind == "analyze") {
       // In-situ analysis: run a registered analyzer against the store and
@@ -117,7 +154,7 @@ void SomaService::define_rpcs(net::Engine& engine) {
       if (it == analyzers_.end()) {
         reply["error"].set("unknown analyzer: " + name);
       } else {
-        reply["result"] = it->second(store_);
+        reply["result"] = it->second(view);
       }
     } else {
       reply["error"].set("unknown query kind: " + kind);

@@ -37,6 +37,10 @@ struct ServiceConfig {
   net::ServiceCost cost{};
   /// Port base for the rank engines.
   int base_port = 9000;
+  /// Storage layer: backend kind and sharding. `shards_per_namespace == 0`
+  /// (auto) shards one-per-rank, so each rank owns the shard its publishes
+  /// land in.
+  StorageConfig storage{};
 };
 
 /// One namespace instance: the addresses of its ranks.
@@ -47,8 +51,9 @@ struct InstanceInfo {
 
 /// A server-side analysis routine: runs *inside* the service against the
 /// data it already holds ("in situ processing for runtime decision
-/// actuation", paper §6) and returns its result as a Node.
-using Analyzer = std::function<datamodel::Node(const DataStore&)>;
+/// actuation", paper §6) and returns its result as a Node. Analyzers read
+/// through the scatter-gather StoreView, never a concrete store or shard.
+using Analyzer = std::function<datamodel::Node(const StoreView&)>;
 
 class SomaService {
  public:
@@ -72,6 +77,8 @@ class SomaService {
   /// The ingested data (read by the in-situ analysis).
   [[nodiscard]] const DataStore& store() const { return store_; }
   [[nodiscard]] DataStore& store() { return store_; }
+  /// Scatter-gather read view over the sharded store.
+  [[nodiscard]] StoreView store_view() const { return store_.view(); }
 
   /// Register a named in-situ analyzer, callable remotely via the query RPC
   /// {"kind":"analyze","analyzer":<name>}. Throws ConfigError on duplicates.
@@ -93,7 +100,9 @@ class SomaService {
   [[nodiscard]] Duration max_queue_delay() const;
 
  private:
-  void define_rpcs(net::Engine& engine);
+  /// `shard_index` is the rank's index within its namespace instance; the
+  /// rank appends into that shard of the store.
+  void define_rpcs(net::Engine& engine, int shard_index);
 
   net::Network& network_;
   ServiceConfig config_;

@@ -1,0 +1,113 @@
+// Pluggable storage backends for the SOMA service-side store.
+//
+// A StorageBackend owns the records of ONE shard of ONE namespace instance:
+// a keyspace of per-source time series. The DataStore facade (soma/store.hpp)
+// composes backends into per-namespace shard groups — one shard per service
+// rank — and routes appends to shards by a stable source hash; reads
+// scatter-gather across the group through StoreView.
+//
+// Two implementations ship today:
+//   * kMap — the historical per-source std::map of record vectors. Simple,
+//     contiguous per-source storage, sorted source iteration for free.
+//   * kLog — an append-only record log (stable addresses) with a sorted
+//     per-source index and an LRU latest-snapshot cache, the layout an
+//     eviction/compression/spill-to-disk backend grows out of.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "datamodel/node.hpp"
+
+namespace soma::core {
+
+struct TimedRecord {
+  SimTime time;           ///< service-side ingest time
+  datamodel::Node data;   ///< published payload
+};
+
+enum class StorageBackendKind {
+  kMap = 0,  ///< per-source std::map of record vectors (default)
+  kLog = 1,  ///< append-only log + sorted per-source index + LRU latest cache
+};
+
+[[nodiscard]] std::string_view to_string(StorageBackendKind kind);
+/// Parse "map" / "log". Throws ConfigError on junk.
+[[nodiscard]] StorageBackendKind parse_backend_kind(std::string_view text);
+
+/// Configuration of the storage layer of one service (or offline store).
+struct StorageConfig {
+  StorageBackendKind backend = StorageBackendKind::kMap;
+  /// Shards per namespace group. 0 = auto: the SOMA service allocates one
+  /// shard per service rank of the namespace instance; offline stores
+  /// (export/import tools, tests) default to a single shard.
+  int shards_per_namespace = 0;
+  /// Capacity of the log backend's LRU latest-snapshot cache (per shard).
+  std::size_t latest_cache_capacity = 128;
+};
+
+/// FNV-1a over the source name: stable across runs, platforms, and processes
+/// (std::hash is not). Both the client's rank routing and the store's shard
+/// routing use THIS hash, so a source's home rank and home shard agree.
+[[nodiscard]] inline std::size_t stable_source_hash(std::string_view source) {
+  std::size_t h = 1469598103934665603ULL;
+  for (unsigned char c : source) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// The shard (equivalently: service rank) a source routes to in a group of
+/// `count` shards.
+[[nodiscard]] inline std::size_t route_source(std::string_view source,
+                                              std::size_t count) {
+  return count == 0 ? 0 : stable_source_hash(source) % count;
+}
+
+/// One shard's storage: per-source time series plus ingest counters.
+///
+/// Pointer validity: records returned by latest/series/range stay valid
+/// until the next append to the same shard (the map backend may reallocate a
+/// source's vector; the log backend never moves records but the contract is
+/// kept uniform so callers do not depend on one implementation).
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Append a record published by `source` (hostname, task uid, ...).
+  /// Series stay time-sorted even if a record arrives late (replay paths).
+  virtual void append(const std::string& source, SimTime time,
+                      datamodel::Node data) = 0;
+
+  /// Most recent record from `source`, if any.
+  [[nodiscard]] virtual const TimedRecord* latest(
+      const std::string& source) const = 0;
+
+  /// Full series for one source, time-ascending (empty if unknown).
+  [[nodiscard]] virtual std::vector<const TimedRecord*> series(
+      const std::string& source) const = 0;
+
+  /// Records from `source` with time in [from, to].
+  [[nodiscard]] virtual std::vector<const TimedRecord*> range(
+      const std::string& source, SimTime from, SimTime to) const = 0;
+
+  /// All sources seen, sorted.
+  [[nodiscard]] virtual std::vector<std::string> sources() const = 0;
+
+  [[nodiscard]] virtual std::uint64_t record_count() const = 0;
+  /// Total packed bytes ingested (capacity planning / shard balance).
+  [[nodiscard]] virtual std::uint64_t ingested_bytes() const = 0;
+
+  [[nodiscard]] virtual StorageBackendKind kind() const = 0;
+};
+
+/// Build a backend of `config.backend` kind (one shard's worth of storage).
+[[nodiscard]] std::unique_ptr<StorageBackend> make_storage_backend(
+    const StorageConfig& config);
+
+}  // namespace soma::core

@@ -124,7 +124,7 @@ TEST(AdvisorTest, AnalyzeHardware) {
   store.append(core::Namespace::kHardware, "cn0002",
                SimTime::from_seconds(1.0), hw_record("cn0002", 0.9, 500));
 
-  const FreeResourceReport report = analyze_hardware(store);
+  const FreeResourceReport report = analyze_hardware(store.view());
   ASSERT_EQ(report.nodes.size(), 2u);
   EXPECT_EQ(report.nodes[0].hostname, "cn0001");
   EXPECT_NEAR(report.nodes[0].mean_utilization, 0.3, 1e-12);
@@ -148,7 +148,7 @@ TEST(AdvisorTest, AnalyzeHardwareGpuFields) {
   store.append(core::Namespace::kHardware, "cn0001",
                SimTime::from_seconds(2.0), std::move(record2));
 
-  const FreeResourceReport report = analyze_hardware(store);
+  const FreeResourceReport report = analyze_hardware(store.view());
   ASSERT_EQ(report.nodes.size(), 1u);
   EXPECT_NEAR(report.nodes[0].mean_gpu_utilization, 0.7, 1e-12);
   EXPECT_NEAR(report.nodes[0].last_gpu_utilization, 0.6, 1e-12);
@@ -157,7 +157,7 @@ TEST(AdvisorTest, AnalyzeHardwareGpuFields) {
 
 TEST(AdvisorTest, EmptyStoreReport) {
   core::DataStore store;
-  const FreeResourceReport report = analyze_hardware(store);
+  const FreeResourceReport report = analyze_hardware(store.view());
   EXPECT_TRUE(report.nodes.empty());
   EXPECT_DOUBLE_EQ(report.mean_utilization(), 0.0);
 }
@@ -184,7 +184,7 @@ TEST(AdvisorTest, WorkflowProgressSeries) {
                SimTime::from_seconds(60.0), wf_record(0, 5, 10, 0.0));
   store.append(core::Namespace::kWorkflow, "rp_monitor",
                SimTime::from_seconds(120.0), wf_record(5, 5, 5, 5.0));
-  const auto progress = workflow_progress(store);
+  const auto progress = workflow_progress(store.view());
   ASSERT_EQ(progress.size(), 2u);
   EXPECT_EQ(progress[0].pending, 10);
   EXPECT_EQ(progress[1].done, 5);
@@ -200,7 +200,7 @@ TEST(AdvisorTest, ObservedTaskStartsSortedByTime) {
   store.append(core::Namespace::kWorkflow, "rp_monitor",
                SimTime::from_seconds(60.0), std::move(record));
 
-  const auto starts = observed_task_starts(store);
+  const auto starts = observed_task_starts(store.view());
   ASSERT_EQ(starts.size(), 2u);
   EXPECT_EQ(starts[0].second, "task.a");
   EXPECT_EQ(starts[0].first, SimTime::from_seconds(1.0));

@@ -106,7 +106,7 @@ TEST(DeploymentTest, MonitorsPublishDuringWorkflow) {
   });
   session.run();
 
-  const core::DataStore& store = deployment->service().store();
+  const core::StoreView store = deployment->service().store_view();
   EXPECT_GT(store.record_count(core::Namespace::kWorkflow), 3u);
   EXPECT_GT(store.record_count(core::Namespace::kHardware), 6u);
   // The hardware report sees all three nodes.

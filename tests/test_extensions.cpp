@@ -99,12 +99,12 @@ TEST(ExportTest, RoundTrip) {
   core::DataStore restored;
   EXPECT_EQ(core::import_store(restored, stream), 3u);
   EXPECT_EQ(restored.total_records(), 3u);
-  const auto& series =
+  const auto series =
       restored.series(core::Namespace::kHardware, "cn0001");
   ASSERT_EQ(series.size(), 2u);
-  EXPECT_EQ(series[0].time, SimTime::from_seconds(30.0));
+  EXPECT_EQ(series[0]->time, SimTime::from_seconds(30.0));
   EXPECT_DOUBLE_EQ(
-      series[1].data.fetch_existing("cn0001/cpu_utilization").as_float64(),
+      series[1]->data.fetch_existing("cn0001/cpu_utilization").as_float64(),
       0.7);
   EXPECT_EQ(restored
                 .latest(core::Namespace::kWorkflow, "rp_monitor")

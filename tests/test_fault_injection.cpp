@@ -481,10 +481,10 @@ ReplayRunOutcome run_replay_scenario(bool crash_collector) {
   simulation.run();
 
   ReplayRunOutcome outcome;
-  for (const TimedRecord& record :
+  for (const TimedRecord* record :
        service.store().series(Namespace::kHardware, "cn0001")) {
-    outcome.values.push_back(record.data.fetch_existing("v").as_float64());
-    outcome.times.push_back(record.time.nanos());
+    outcome.values.push_back(record->data.fetch_existing("v").as_float64());
+    outcome.times.push_back(record->time.nanos());
   }
   outcome.publishes = service.publishes_received();
   outcome.replayed_at_service = service.replayed_publishes();

@@ -53,13 +53,13 @@ TEST_F(RpMonitorTest, PublishesSummaries) {
   session.run();
 
   EXPECT_GE(monitor->ticks(), 6u);
-  const auto& series =
+  const auto series =
       service->store().series(core::Namespace::kWorkflow, "rp_monitor");
   ASSERT_GE(series.size(), 6u);
 
   // Early tick: the task is pending or executing; late tick: done.
-  const auto& early = series[1].data.fetch_existing("summary");
-  const auto& late = series.back().data.fetch_existing("summary");
+  const auto& early = series[1]->data.fetch_existing("summary");
+  const auto& late = series.back()->data.fetch_existing("summary");
   EXPECT_EQ(late.fetch_existing("tasks_done").as_int64(), 1);
   EXPECT_EQ(early.fetch_existing("tasks_done").as_int64() +
                 early.fetch_existing("tasks_executing").as_int64() +
@@ -86,12 +86,12 @@ TEST_F(RpMonitorTest, EventsPublishedIncrementally) {
   });
   session.run();
 
-  const auto& series =
+  const auto series =
       service->store().series(core::Namespace::kWorkflow, "rp_monitor");
   // rank_start for task "t" appears in exactly one tick's event block.
   int ticks_with_rank_start = 0;
-  for (const auto& record : series) {
-    const auto* events = record.data.find_child("events");
+  for (const auto* record : series) {
+    const auto* events = record->data.find_child("events");
     if (events == nullptr) continue;
     const auto* task_events = events->find_child("t");
     if (task_events == nullptr) continue;
@@ -168,10 +168,10 @@ TEST_F(HwMonitorTest, PublishesSnapshotsWithUtilization) {
     EXPECT_NEAR(sample.utilization, 0.5, 0.05);
   }
 
-  const auto& series =
+  const auto series =
       service.store().series(core::Namespace::kHardware, "cn0001");
   ASSERT_EQ(series.size(), 4u);
-  const auto& last = series.back().data;
+  const auto& last = series.back()->data;
   EXPECT_TRUE(last.has_path("cn0001/cpu_utilization"));
   EXPECT_NEAR(last.fetch_existing("cn0001/cpu_utilization").as_float64(), 0.5,
               0.05);

@@ -195,11 +195,11 @@ TEST_F(ServiceTest, SourceAffinityIsStable) {
     client.publish("cn0007", value_node(i));
   }
   simulation.run();
-  const auto& series = service.store().series(Namespace::kHardware, "cn0007");
+  const auto series = service.store().series(Namespace::kHardware, "cn0007");
   ASSERT_EQ(series.size(), 10u);
   for (int i = 0; i < 10; ++i) {
     EXPECT_DOUBLE_EQ(series[static_cast<std::size_t>(i)]
-                         .data.fetch_existing("v")
+                         ->data.fetch_existing("v")
                          .as_float64(),
                      i);
   }
@@ -316,9 +316,9 @@ TEST_F(ServiceTest, MoreRanksReduceQueueDelay) {
 
 TEST_F(ServiceTest, InSituAnalyzerOverRpc) {
   SomaService service(network, {0});
-  service.register_analyzer("count", [](const DataStore& store) {
+  service.register_analyzer("count", [](const StoreView& view) {
     datamodel::Node result;
-    result["total"].set(static_cast<std::int64_t>(store.total_records()));
+    result["total"].set(static_cast<std::int64_t>(view.total_records()));
     return result;
   });
   EXPECT_EQ(service.analyzer_names(), (std::vector<std::string>{"count"}));
@@ -354,7 +354,7 @@ TEST_F(ServiceTest, UnknownAnalyzerReturnsError) {
 
 TEST_F(ServiceTest, DuplicateAnalyzerRejected) {
   SomaService service(network, {0});
-  auto analyzer = [](const DataStore&) { return datamodel::Node{}; };
+  auto analyzer = [](const StoreView&) { return datamodel::Node{}; };
   service.register_analyzer("a", analyzer);
   EXPECT_THROW(service.register_analyzer("a", analyzer), ConfigError);
   EXPECT_THROW(service.register_analyzer("b", nullptr), ConfigError);

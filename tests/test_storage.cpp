@@ -1,0 +1,403 @@
+// Storage-layer tests: StorageBackend implementations (map + log), range
+// boundary semantics, the log backend's LRU latest-snapshot cache, shard
+// routing, and StoreView scatter-gather merges. Backend-behavior tests are
+// parameterized over every StorageBackendKind so a new backend inherits the
+// whole contract suite by adding one enum value below.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "soma/export.hpp"
+#include "soma/log_backend.hpp"
+#include "soma/map_backend.hpp"
+#include "soma/store.hpp"
+#include "soma/storage_backend.hpp"
+
+namespace soma::core {
+namespace {
+
+constexpr StorageBackendKind kAllBackends[] = {StorageBackendKind::kMap,
+                                               StorageBackendKind::kLog};
+
+datamodel::Node value_node(double v) {
+  datamodel::Node node;
+  node["v"].set(v);
+  return node;
+}
+
+std::unique_ptr<StorageBackend> make_backend(StorageBackendKind kind) {
+  StorageConfig config;
+  config.backend = kind;
+  return make_storage_backend(config);
+}
+
+// ---------- kind parsing / factory ----------
+
+TEST(BackendKindTest, RoundTrip) {
+  EXPECT_EQ(to_string(StorageBackendKind::kMap), "map");
+  EXPECT_EQ(to_string(StorageBackendKind::kLog), "log");
+  EXPECT_EQ(parse_backend_kind("map"), StorageBackendKind::kMap);
+  EXPECT_EQ(parse_backend_kind("log"), StorageBackendKind::kLog);
+  EXPECT_THROW(parse_backend_kind("lsm"), ConfigError);
+  EXPECT_THROW(parse_backend_kind(""), ConfigError);
+}
+
+TEST(BackendKindTest, FactoryBuildsRequestedKind) {
+  for (StorageBackendKind kind : kAllBackends) {
+    EXPECT_EQ(make_backend(kind)->kind(), kind);
+  }
+}
+
+// ---------- contract suite, parameterized over every backend ----------
+
+class BackendContractTest
+    : public ::testing::TestWithParam<StorageBackendKind> {};
+
+TEST_P(BackendContractTest, EmptyBackend) {
+  const auto backend = make_backend(GetParam());
+  EXPECT_EQ(backend->latest("missing"), nullptr);
+  EXPECT_TRUE(backend->series("missing").empty());
+  EXPECT_TRUE(backend->sources().empty());
+  EXPECT_EQ(backend->record_count(), 0u);
+  EXPECT_EQ(backend->ingested_bytes(), 0u);
+}
+
+TEST_P(BackendContractTest, AppendLatestAndCounters) {
+  const auto backend = make_backend(GetParam());
+  backend->append("cn0001", SimTime::from_seconds(1.0), value_node(0.1));
+  backend->append("cn0001", SimTime::from_seconds(2.0), value_node(0.2));
+  backend->append("cn0002", SimTime::from_seconds(1.5), value_node(0.3));
+
+  const TimedRecord* latest = backend->latest("cn0001");
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ(latest->time, SimTime::from_seconds(2.0));
+  EXPECT_DOUBLE_EQ(latest->data.fetch_existing("v").as_float64(), 0.2);
+  EXPECT_EQ(backend->record_count(), 3u);
+  EXPECT_GT(backend->ingested_bytes(), 0u);
+  EXPECT_EQ(backend->sources(),
+            (std::vector<std::string>{"cn0001", "cn0002"}));
+}
+
+TEST_P(BackendContractTest, LateArrivalKeepsSeriesSorted) {
+  const auto backend = make_backend(GetParam());
+  backend->append("m", SimTime::from_seconds(1.0), value_node(1.0));
+  backend->append("m", SimTime::from_seconds(3.0), value_node(3.0));
+  // Replay paths deliver a record out of order.
+  backend->append("m", SimTime::from_seconds(2.0), value_node(2.0));
+
+  const auto series = backend->series("m");
+  ASSERT_EQ(series.size(), 3u);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(series[i]->time, SimTime::from_seconds(1.0 + i));
+    EXPECT_DOUBLE_EQ(series[i]->data.fetch_existing("v").as_float64(), 1.0 + i);
+  }
+  // Latest is still the newest by time, not the last appended.
+  ASSERT_NE(backend->latest("m"), nullptr);
+  EXPECT_EQ(backend->latest("m")->time, SimTime::from_seconds(3.0));
+}
+
+// Range boundary semantics: [from, to] inclusive on both ends.
+
+TEST_P(BackendContractTest, RangeExactEndpointsInclusive) {
+  const auto backend = make_backend(GetParam());
+  for (int i = 0; i <= 4; ++i) {
+    backend->append("m", SimTime::from_seconds(i), value_node(i));
+  }
+  const auto hits = backend->range("m", SimTime::from_seconds(1.0),
+                                   SimTime::from_seconds(3.0));
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits.front()->time, SimTime::from_seconds(1.0));
+  EXPECT_EQ(hits.back()->time, SimTime::from_seconds(3.0));
+}
+
+TEST_P(BackendContractTest, RangeFromEqualsTo) {
+  const auto backend = make_backend(GetParam());
+  for (int i = 0; i <= 4; ++i) {
+    backend->append("m", SimTime::from_seconds(i), value_node(i));
+  }
+  // Degenerate window sitting exactly on a sample: that one record.
+  const auto on_sample = backend->range("m", SimTime::from_seconds(2.0),
+                                        SimTime::from_seconds(2.0));
+  ASSERT_EQ(on_sample.size(), 1u);
+  EXPECT_EQ(on_sample.front()->time, SimTime::from_seconds(2.0));
+  // Degenerate window between samples: nothing.
+  EXPECT_TRUE(backend->range("m", SimTime::from_seconds(2.5),
+                             SimTime::from_seconds(2.5))
+                  .empty());
+}
+
+TEST_P(BackendContractTest, RangeEmptyWindowAndReversedBounds) {
+  const auto backend = make_backend(GetParam());
+  backend->append("m", SimTime::from_seconds(1.0), value_node(1.0));
+  backend->append("m", SimTime::from_seconds(5.0), value_node(5.0));
+  // Window strictly between two samples.
+  EXPECT_TRUE(backend->range("m", SimTime::from_seconds(2.0),
+                             SimTime::from_seconds(4.0))
+                  .empty());
+  // Window entirely before / after the series.
+  EXPECT_TRUE(backend->range("m", SimTime::zero(),
+                             SimTime::from_seconds(0.5))
+                  .empty());
+  EXPECT_TRUE(backend->range("m", SimTime::from_seconds(6.0),
+                             SimTime::from_seconds(9.0))
+                  .empty());
+  // Reversed bounds are an empty interval, not a crash or a wrap-around.
+  EXPECT_TRUE(backend->range("m", SimTime::from_seconds(5.0),
+                             SimTime::from_seconds(1.0))
+                  .empty());
+  // Unknown source.
+  EXPECT_TRUE(backend->range("ghost", SimTime::zero(), SimTime::max())
+                  .empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendContractTest,
+                         ::testing::ValuesIn(kAllBackends),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// ---------- log backend LRU latest-snapshot cache ----------
+
+TEST(LogBackendCacheTest, HitsAndMisses) {
+  LogBackend backend(/*latest_cache_capacity=*/4);
+  backend.append("a", SimTime::from_seconds(1.0), value_node(1.0));
+  EXPECT_EQ(backend.latest_cache_hits(), 0u);
+
+  // Append primes the cache, so the first read already hits.
+  ASSERT_NE(backend.latest("a"), nullptr);
+  EXPECT_EQ(backend.latest_cache_hits(), 1u);
+  ASSERT_NE(backend.latest("a"), nullptr);
+  EXPECT_EQ(backend.latest_cache_hits(), 2u);
+  EXPECT_EQ(backend.latest("missing"), nullptr);
+  EXPECT_EQ(backend.latest_cache_misses(), 1u);
+}
+
+TEST(LogBackendCacheTest, EvictsLeastRecentlyUsed) {
+  LogBackend backend(/*latest_cache_capacity=*/2);
+  backend.append("a", SimTime::from_seconds(1.0), value_node(1.0));
+  backend.append("b", SimTime::from_seconds(1.0), value_node(2.0));
+  backend.append("c", SimTime::from_seconds(1.0), value_node(3.0));
+  EXPECT_EQ(backend.latest_cache_size(), 2u);
+
+  // "a" was evicted by "c": reading it is a miss (then re-cached, evicting
+  // the now-least-recent "b").
+  const auto misses_before = backend.latest_cache_misses();
+  ASSERT_NE(backend.latest("a"), nullptr);
+  EXPECT_EQ(backend.latest_cache_misses(), misses_before + 1);
+  ASSERT_NE(backend.latest("c"), nullptr);  // still cached: a hit
+  const auto hits_after_c = backend.latest_cache_hits();
+  ASSERT_NE(backend.latest("b"), nullptr);  // evicted: a miss
+  EXPECT_EQ(backend.latest_cache_hits(), hits_after_c);
+  EXPECT_EQ(backend.latest_cache_size(), 2u);
+}
+
+TEST(LogBackendCacheTest, StaysCoherentAcrossAppends) {
+  LogBackend backend(/*latest_cache_capacity=*/4);
+  backend.append("a", SimTime::from_seconds(1.0), value_node(1.0));
+  ASSERT_NE(backend.latest("a"), nullptr);
+
+  // A newer record must supersede the cached snapshot...
+  backend.append("a", SimTime::from_seconds(2.0), value_node(2.0));
+  ASSERT_NE(backend.latest("a"), nullptr);
+  EXPECT_EQ(backend.latest("a")->time, SimTime::from_seconds(2.0));
+
+  // ...and a late (replayed) older record must NOT.
+  backend.append("a", SimTime::from_seconds(1.5), value_node(1.5));
+  ASSERT_NE(backend.latest("a"), nullptr);
+  EXPECT_EQ(backend.latest("a")->time, SimTime::from_seconds(2.0));
+  EXPECT_EQ(backend.series("a").size(), 3u);
+}
+
+TEST(LogBackendCacheTest, CapacityClampedToOne) {
+  LogBackend backend(/*latest_cache_capacity=*/0);
+  EXPECT_EQ(backend.latest_cache_capacity(), 1u);
+  backend.append("a", SimTime::from_seconds(1.0), value_node(1.0));
+  ASSERT_NE(backend.latest("a"), nullptr);
+}
+
+// ---------- shard routing ----------
+
+TEST(ShardRoutingTest, StableHashIsStable) {
+  // Fixed constants (inherited from the original client-side hash): the
+  // values must never change across runs or refactors, or persisted routing
+  // assumptions break.
+  EXPECT_EQ(stable_source_hash(""), 1469598103934665603ULL);
+  EXPECT_EQ(stable_source_hash("cn0001"),
+            stable_source_hash(std::string("cn0001")));
+  EXPECT_NE(stable_source_hash("cn0001"), stable_source_hash("cn0002"));
+  EXPECT_EQ(route_source("anything", 0), 0u);
+  EXPECT_EQ(route_source("anything", 1), 0u);
+}
+
+TEST(ShardRoutingTest, DataStoreRoutesByTheSharedHash) {
+  StorageConfig config;
+  config.shards_per_namespace = 4;
+  DataStore store(config);
+  ASSERT_EQ(store.shard_count(), 4);
+
+  const std::vector<std::string> sources = {"cn0001", "cn0002", "task.0001",
+                                            "task.0002", "pipeline.7"};
+  for (const auto& source : sources) {
+    const int expected = static_cast<int>(route_source(source, 4));
+    EXPECT_EQ(store.shard_index_for(source), expected) << source;
+    store.append(Namespace::kHardware, source, SimTime::from_seconds(1.0),
+                 value_node(1.0));
+    // The record landed in exactly the shard the hash names.
+    EXPECT_EQ(
+        store.shard(Namespace::kHardware, expected).series(source).size(), 1u)
+        << source;
+  }
+}
+
+// ---------- StoreView scatter-gather ----------
+
+class StoreViewTest : public ::testing::TestWithParam<StorageBackendKind> {
+ protected:
+  static DataStore sharded_store(StorageBackendKind kind, int shards) {
+    StorageConfig config;
+    config.backend = kind;
+    config.shards_per_namespace = shards;
+    return DataStore(config);
+  }
+};
+
+TEST_P(StoreViewTest, MergesSeriesAcrossShardsTimeSorted) {
+  DataStore store = sharded_store(GetParam(), 3);
+  // Simulate a source that failed over between ranks: its records are
+  // split across shards (bypassing hash routing via direct shard access).
+  store.shard(Namespace::kWorkflow, 0)
+      .append("task.1", SimTime::from_seconds(1.0), value_node(1.0));
+  store.shard(Namespace::kWorkflow, 2)
+      .append("task.1", SimTime::from_seconds(2.0), value_node(2.0));
+  store.shard(Namespace::kWorkflow, 1)
+      .append("task.1", SimTime::from_seconds(3.0), value_node(3.0));
+
+  const StoreView view = store.view();
+  const auto series = view.series(Namespace::kWorkflow, "task.1");
+  ASSERT_EQ(series.size(), 3u);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(series[i]->time, SimTime::from_seconds(1.0 + i));
+  }
+  const auto window = view.range(Namespace::kWorkflow, "task.1",
+                                 SimTime::from_seconds(2.0),
+                                 SimTime::from_seconds(3.0));
+  ASSERT_EQ(window.size(), 2u);
+  EXPECT_EQ(window.front()->time, SimTime::from_seconds(2.0));
+}
+
+TEST_P(StoreViewTest, LatestTieResolvesToLowestShard) {
+  DataStore store = sharded_store(GetParam(), 3);
+  store.shard(Namespace::kWorkflow, 2)
+      .append("task.1", SimTime::from_seconds(5.0), value_node(22.0));
+  store.shard(Namespace::kWorkflow, 1)
+      .append("task.1", SimTime::from_seconds(5.0), value_node(11.0));
+
+  const TimedRecord* latest =
+      store.view().latest(Namespace::kWorkflow, "task.1");
+  ASSERT_NE(latest, nullptr);
+  EXPECT_DOUBLE_EQ(latest->data.fetch_existing("v").as_float64(), 11.0);
+}
+
+TEST_P(StoreViewTest, TimeTiesKeepShardOrder) {
+  DataStore store = sharded_store(GetParam(), 2);
+  store.shard(Namespace::kWorkflow, 1)
+      .append("m", SimTime::from_seconds(1.0), value_node(1.0));
+  store.shard(Namespace::kWorkflow, 0)
+      .append("m", SimTime::from_seconds(1.0), value_node(0.0));
+
+  const auto series = store.view().series(Namespace::kWorkflow, "m");
+  ASSERT_EQ(series.size(), 2u);
+  // Equal timestamps: shard 0's record sorts first, deterministically.
+  EXPECT_DOUBLE_EQ(series[0]->data.fetch_existing("v").as_float64(), 0.0);
+  EXPECT_DOUBLE_EQ(series[1]->data.fetch_existing("v").as_float64(), 1.0);
+}
+
+TEST_P(StoreViewTest, SourcesUnionSortedDeduplicated) {
+  DataStore store = sharded_store(GetParam(), 2);
+  store.shard(Namespace::kHardware, 0)
+      .append("cn0002", SimTime::from_seconds(1.0), value_node(1.0));
+  store.shard(Namespace::kHardware, 1)
+      .append("cn0001", SimTime::from_seconds(1.0), value_node(1.0));
+  store.shard(Namespace::kHardware, 1)
+      .append("cn0002", SimTime::from_seconds(2.0), value_node(2.0));
+
+  EXPECT_EQ(store.view().sources(Namespace::kHardware),
+            (std::vector<std::string>{"cn0001", "cn0002"}));
+  EXPECT_EQ(store.view().record_count(Namespace::kHardware), 3u);
+}
+
+TEST_P(StoreViewTest, ExportIsShardCountInvariant) {
+  // The exported stream is defined by the logical contents, not the
+  // physical sharding: 1 shard and 5 shards must serialize identically.
+  const auto fill = [](DataStore& store) {
+    const std::vector<std::string> sources = {"cn0001", "cn0002", "task.1",
+                                              "task.2", "pipeline.9"};
+    for (int t = 1; t <= 4; ++t) {
+      for (const auto& source : sources) {
+        store.append(Namespace::kHardware, source, SimTime::from_seconds(t),
+                     value_node(t));
+      }
+    }
+  };
+  DataStore single = sharded_store(GetParam(), 1);
+  DataStore sharded = sharded_store(GetParam(), 5);
+  fill(single);
+  fill(sharded);
+
+  std::ostringstream single_out, sharded_out;
+  EXPECT_EQ(export_store(single, single_out),
+            export_store(sharded, sharded_out));
+  EXPECT_EQ(single_out.str(), sharded_out.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, StoreViewTest,
+                         ::testing::ValuesIn(kAllBackends),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// ---------- shard counters / report ----------
+
+TEST(ShardCountersTest, CountersFollowRouting) {
+  StorageConfig config;
+  config.shards_per_namespace = 2;
+  DataStore store(config);
+  store.append(Namespace::kWorkflow, "task.1", SimTime::from_seconds(1.0),
+               value_node(1.0));
+  store.append(Namespace::kHardware, "cn0001", SimTime::from_seconds(1.0),
+               value_node(1.0));
+
+  std::uint64_t total_records = 0;
+  for (const auto& counter : store.shard_counters()) {
+    total_records += counter.records;
+    if (counter.records > 0) EXPECT_GT(counter.bytes, 0u);
+  }
+  EXPECT_EQ(total_records, store.total_records());
+  // namespace-major, shard-minor: 4 namespaces x 2 shards.
+  EXPECT_EQ(store.shard_counters().size(), 8u);
+}
+
+TEST(ShardCountersTest, ExportShardReportShape) {
+  StorageConfig config;
+  config.backend = StorageBackendKind::kLog;
+  config.shards_per_namespace = 2;
+  DataStore store(config);
+  store.append(Namespace::kWorkflow, "task.1", SimTime::from_seconds(1.0),
+               value_node(1.0));
+
+  const datamodel::Node report = export_shard_report(store);
+  EXPECT_EQ(report.fetch_existing("backend").as_string(), "log");
+  EXPECT_EQ(report.fetch_existing("shard_count").as_int64(), 2);
+  std::uint64_t records = 0;
+  for (int shard = 0; shard < 2; ++shard) {
+    records += static_cast<std::uint64_t>(
+        report.fetch_existing("workflow/shard_" + std::to_string(shard) +
+                             "/records")
+            .as_int64());
+  }
+  EXPECT_EQ(records, 1u);
+}
+
+}  // namespace
+}  // namespace soma::core

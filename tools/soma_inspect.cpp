@@ -24,7 +24,7 @@ using namespace soma;
 
 namespace {
 
-void print_volumes(const core::DataStore& store) {
+void print_volumes(const core::StoreView& store) {
   std::printf("\n== namespace volumes ==\n");
   TextTable table({"namespace", "records", "sources", "bytes"});
   for (core::Namespace ns : core::kAllNamespaces) {
@@ -36,7 +36,7 @@ void print_volumes(const core::DataStore& store) {
   std::printf("%s", table.to_string().c_str());
 }
 
-void print_progress(const core::DataStore& store) {
+void print_progress(const core::StoreView& store) {
   const auto progress = analysis::workflow_progress(store);
   if (progress.empty()) {
     std::printf("\n== workflow progress == (no workflow summaries)\n");
@@ -54,7 +54,7 @@ void print_progress(const core::DataStore& store) {
   std::printf("%s", table.to_string().c_str());
 }
 
-void print_hosts(const core::DataStore& store) {
+void print_hosts(const core::StoreView& store) {
   const auto report = analysis::analyze_hardware(store);
   if (report.nodes.empty()) {
     std::printf("\n== hosts == (no hardware records)\n");
@@ -77,7 +77,7 @@ void print_hosts(const core::DataStore& store) {
   }
 }
 
-void print_starts(const core::DataStore& store) {
+void print_starts(const core::StoreView& store) {
   const auto starts = analysis::observed_task_starts(store);
   std::printf("\n== observed task starts (%zu) ==\n", starts.size());
   for (const auto& [time, uid] : starts) {
@@ -119,9 +119,10 @@ int main(int argc, char** argv) {
   }
   if (!any_flag) want_progress = want_hosts = want_starts = true;
 
-  print_volumes(store);
-  if (want_progress) print_progress(store);
-  if (want_hosts) print_hosts(store);
-  if (want_starts) print_starts(store);
+  const core::StoreView view = store.view();
+  print_volumes(view);
+  if (want_progress) print_progress(view);
+  if (want_hosts) print_hosts(view);
+  if (want_starts) print_starts(view);
   return 0;
 }

@@ -24,6 +24,11 @@ int main(int argc, char** argv) {
   // builds.
   const core::StorageConfig storage = bench::parse_store_backend(argc, argv);
 
+  // `--publish-batch N` coalesces client publishes into N-record batch
+  // frames (`--batch-delay` bounds their age). Absent, batching stays off
+  // and output is byte-identical to earlier builds.
+  const core::BatchingConfig batching = bench::parse_publish_batch(argc, argv);
+
   // `--fault-seed N` reruns the sweep on a lossy fabric (1% drops, 2% latency
   // spikes) with client retry + buffer-and-replay enabled. Without the flag
   // the fabric is perfect and the output is byte-identical to earlier builds.
@@ -53,6 +58,7 @@ int main(int argc, char** argv) {
     for (SomaMode mode : {SomaMode::kExclusive, SomaMode::kShared}) {
       auto config = DdmdExperimentConfig::scaling_a(nodes, ranks, mode);
       config.storage = storage;
+      config.batching = batching;
       if (faults_enabled) {
         config.faults.enabled = true;
         config.faults.fault_seed = fault_seed;

@@ -26,6 +26,10 @@ int main(int argc, char** argv) {
   // store; the default map backend keeps output byte-identical.
   const core::StorageConfig storage = bench::parse_store_backend(argc, argv);
 
+  // `--publish-batch N` coalesces client publishes into N-record batch
+  // frames; absent, batching is off and output stays byte-identical.
+  const core::BatchingConfig batching = bench::parse_publish_batch(argc, argv);
+
   int max_scale = 512;
   std::uint64_t fault_seed = 0;
   bool faults_enabled = false;
@@ -64,6 +68,7 @@ int main(int argc, char** argv) {
       auto experiment = DdmdExperimentConfig::scaling_b(
           scale, config.mode, Duration::seconds(config.period_s));
       experiment.storage = storage;
+      experiment.batching = batching;
       if (faults_enabled) {
         experiment.faults.enabled = true;
         experiment.faults.fault_seed = fault_seed;

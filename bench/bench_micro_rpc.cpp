@@ -9,6 +9,8 @@
 #include "bench_micro_main.hpp"
 #include "net/rpc.hpp"
 #include "sim/simulation.hpp"
+#include "soma/client.hpp"
+#include "soma/service.hpp"
 
 using namespace soma;
 
@@ -76,6 +78,38 @@ void BM_PeriodicTasks(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0) * 60);
 }
 BENCHMARK(BM_PeriodicTasks)->Arg(64)->Arg(512);
+
+void BM_BatchPublish(benchmark::State& state) {
+  // End-to-end batched publish path: client-side coalescing into 16-record
+  // batch frames, the raw soma.publish_batch RPC, and the per-shard
+  // append_batch ingest.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation simulation;
+    net::Network network(simulation, net::NetworkConfig{});
+    core::ServiceConfig service_config;
+    service_config.namespaces = {core::Namespace::kHardware};
+    core::SomaService service(network, {0}, service_config);
+    core::BatchingConfig batching;
+    batching.max_records = 16;
+    core::SomaClient client(network, 1, 7000, core::Namespace::kHardware,
+                            service.instance(core::Namespace::kHardware).ranks,
+                            {}, batching);
+    datamodel::Node payload;
+    payload["cpu_utilization"].set(0.5);
+    const int n = static_cast<int>(state.range(0));
+    state.ResumeTiming();
+
+    for (int i = 0; i < n; ++i) {
+      client.publish("host0", payload);
+    }
+    client.flush_batches();
+    simulation.run();
+    benchmark::DoNotOptimize(service.publishes_received());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BatchPublish)->Arg(1000)->Arg(10000);
 
 }  // namespace
 

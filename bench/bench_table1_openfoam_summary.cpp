@@ -16,10 +16,15 @@ int main(int argc, char** argv) {
   // `--store-backend log` swaps the storage backend under the sharded store.
   const core::StorageConfig storage = bench::parse_store_backend(argc, argv);
 
+  // `--publish-batch N` coalesces client publishes; off by default.
+  const core::BatchingConfig batching = bench::parse_publish_batch(argc, argv);
+
   auto tuning = OpenFoamExperimentConfig::tuning();
   tuning.storage = storage;
+  tuning.batching = batching;
   auto overload = OpenFoamExperimentConfig::overloaded();
   overload.storage = storage;
+  overload.batching = batching;
 
   TextTable table({"Experiment", "Tuning", "Overload"});
   table.add_row({"Number of Tasks",

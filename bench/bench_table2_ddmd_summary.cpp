@@ -16,6 +16,9 @@ int main(int argc, char** argv) {
   // `--store-backend log` swaps the storage backend under the sharded store.
   const core::StorageConfig storage = bench::parse_store_backend(argc, argv);
 
+  // `--publish-batch N` coalesces client publishes; off by default.
+  const core::BatchingConfig batching = bench::parse_publish_batch(argc, argv);
+
   TextTable table({"Experiment", "Phases (n)", "Pipelines (m)", "App Nodes",
                    "SOMA Nodes", "Cores/Sim", "Train Tasks", "Cores/Train",
                    "Ranks/Namespace", "Freq (s)"});
@@ -32,8 +35,10 @@ int main(int argc, char** argv) {
   bench::section("realized runs (Tuning and Adaptive executed end-to-end)");
   auto tuning_config = DdmdExperimentConfig::tuning();
   tuning_config.storage = storage;
+  tuning_config.batching = batching;
   auto adaptive_config = DdmdExperimentConfig::adaptive();
   adaptive_config.storage = storage;
+  adaptive_config.batching = batching;
   const DdmdResult tuning = run_ddmd_experiment(tuning_config);
   const DdmdResult adaptive = run_ddmd_experiment(adaptive_config);
 

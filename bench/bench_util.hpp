@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -15,6 +16,7 @@
 #include "common/table.hpp"
 #include "common/types.hpp"
 #include "datamodel/node.hpp"
+#include "soma/batcher.hpp"
 #include "soma/storage_backend.hpp"
 
 namespace soma::bench {
@@ -38,6 +40,41 @@ inline core::StorageConfig parse_store_backend(int& argc, char** argv) {
     break;
   }
   return storage;
+}
+
+/// Consume `--publish-batch <N>` (records per batch; 0 = off) and
+/// `--batch-delay <ms>` (flush-age bound) argument pairs from argv, if
+/// present, and return the resulting coalescing config. Matched pairs are
+/// removed from argv; like parse_store_backend, nothing is printed when the
+/// flags are absent so calibrated default outputs stay byte-identical.
+inline core::BatchingConfig parse_publish_batch(int& argc, char** argv) {
+  core::BatchingConfig batching;
+  auto consume = [&](const char* flag, auto apply) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) != flag) continue;
+      check(i + 1 < argc, "--publish-batch/--batch-delay needs a value");
+      apply(argv[i + 1]);
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return true;
+    }
+    return false;
+  };
+  const bool batch_set = consume("--publish-batch", [&](const char* value) {
+    batching.max_records =
+        static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+  });
+  const bool delay_set = consume("--batch-delay", [&](const char* value) {
+    const double ms = std::strtod(value, nullptr);
+    check(ms > 0.0, "--batch-delay needs a positive millisecond value");
+    batching.max_delay = Duration::seconds(ms * 1e-3);
+  });
+  if (batch_set || delay_set) {
+    std::printf("publish batching: max_records=%zu max_delay=%.1fms\n",
+                batching.max_records,
+                batching.max_delay.to_seconds() * 1e3);
+  }
+  return batching;
 }
 
 inline void header(const char* artifact, const char* description) {

@@ -131,6 +131,10 @@ DdmdResult run_ddmd_experiment(const DdmdExperimentConfig& config) {
   session_config.agent_nodes = 1;
   session_config.seed = config.seed;
   rp::Session session(session_config);
+  // Pre-size the event queue: every pipeline stage, monitor tick and publish
+  // turns into events, and the big runs push tens of thousands concurrently.
+  session.simulation().reserve(
+      static_cast<std::size_t>(config.pipelines) * 64);
 
   // Fault injection is installed before anything touches the network so the
   // per-link streams cover the whole run. An absent injector (the default)
@@ -172,6 +176,7 @@ DdmdResult run_ddmd_experiment(const DdmdExperimentConfig& config) {
     deploy_config.rp_monitor.period = config.monitor_period;
     deploy_config.hw_monitor.period = config.monitor_period;
     deploy_config.client_reliability = config.reliability;
+    deploy_config.client_batching = config.batching;
     deploy_config.service.storage = config.storage;
     deployment = std::make_unique<SomaDeployment>(session, deploy_config);
 

@@ -70,6 +70,9 @@ struct DdmdExperimentConfig {
   /// auto-shards one per rank with the map backend).
   core::StorageConfig storage{};
 
+  /// Publish coalescing for every monitoring client (off by default).
+  core::BatchingConfig batching{};
+
   // Presets matching Table 2.
   static DdmdExperimentConfig tuning(std::uint64_t seed = 1);
   static DdmdExperimentConfig adaptive(std::uint64_t seed = 1);

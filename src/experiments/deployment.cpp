@@ -130,7 +130,7 @@ void SomaDeployment::start_monitors() {
         session_.network(), agent_node, next_port(),
         core::Namespace::kWorkflow,
         service_->instance(core::Namespace::kWorkflow).ranks,
-        config_.client_reliability);
+        config_.client_reliability, config_.client_batching);
     rp_monitor_ = std::make_unique<monitors::RpMonitor>(
         session_, *rp_monitor_client_, config_.rp_monitor);
 
@@ -167,7 +167,7 @@ void SomaDeployment::start_monitors() {
           session_.network(), node_id, next_port(),
           core::Namespace::kHardware,
           service_->instance(core::Namespace::kHardware).ranks,
-          config_.client_reliability);
+          config_.client_reliability, config_.client_batching);
       auto monitor = std::make_unique<monitors::HwMonitor>(
           session_.simulation(), session_.platform().node(node_id), *client,
           session_.rng().split("hw_monitor_" + std::to_string(node_id)),
@@ -238,7 +238,7 @@ void SomaDeployment::enable_openfoam_tau(
                   session_.network(), node, next_port(),
                   core::Namespace::kPerformance,
                   service_->instance(core::Namespace::kPerformance).ranks,
-                  config_.client_reliability);
+                  config_.client_reliability, config_.client_batching);
           tau_plugins_[static_cast<std::size_t>(node)] =
               std::make_unique<profiler::TauSomaPlugin>(
                   *tau_clients_[static_cast<std::size_t>(node)]);
@@ -288,7 +288,7 @@ std::unique_ptr<core::SomaClient> SomaDeployment::make_client(
   check(service_ != nullptr, "SOMA service not deployed");
   return std::make_unique<core::SomaClient>(
       session_.network(), node, next_port(), ns, service_->instance(ns).ranks,
-      config_.client_reliability);
+      config_.client_reliability, config_.client_batching);
 }
 
 std::vector<const core::SomaClient*> SomaDeployment::clients() const {
@@ -312,6 +312,8 @@ SomaDeployment::ReliabilityTotals SomaDeployment::reliability_totals() const {
     totals.replayed += s.replayed;
     totals.failovers += s.failovers;
     totals.dropped_overflow += s.dropped_overflow;
+    totals.dropped_batch_records += s.dropped_batch_records;
+    totals.batches_sent += s.batches_sent;
     const net::EngineStats& e = client->engine_stats();
     totals.rpc_retries += e.retries;
     totals.rpc_timeouts += e.timeouts;
@@ -346,6 +348,16 @@ void SomaDeployment::shutdown() {
   shutdown_ = true;
   if (rp_monitor_) rp_monitor_->stop();
   for (auto& monitor : hw_monitors_) monitor->stop();
+  // Ship the tail of every coalescing client: the monitors' stop paths flush
+  // their own clients, but TAU plugin clients (and any publish that raced
+  // shutdown) may still hold half-open batches.
+  if (rp_monitor_client_) rp_monitor_client_->flush_batches();
+  for (auto& client : hw_clients_) {
+    if (client) client->flush_batches();
+  }
+  for (auto& client : tau_clients_) {
+    if (client) client->flush_batches();
+  }
   for (const auto& task : hw_monitor_tasks_) {
     session_.stop_task(task->uid());
   }

@@ -61,6 +61,10 @@ struct DeploymentConfig {
   /// (monitors, TAU plugins, make_client). The default — no retries, no
   /// degradation — reproduces the historical perfect-transport behaviour.
   core::ClientReliability client_reliability{};
+
+  /// Publish coalescing policy applied to every client the deployment
+  /// creates. Off by default (every publish ships as its own RPC).
+  core::BatchingConfig client_batching{};
 };
 
 class SomaDeployment {
@@ -108,6 +112,8 @@ class SomaDeployment {
     std::uint64_t replayed = 0;
     std::uint64_t failovers = 0;
     std::uint64_t dropped_overflow = 0;
+    std::uint64_t dropped_batch_records = 0;
+    std::uint64_t batches_sent = 0;
     std::uint64_t rpc_retries = 0;
     std::uint64_t rpc_timeouts = 0;
     std::uint64_t rpc_calls_failed = 0;

@@ -112,6 +112,7 @@ OpenFoamResult run_openfoam_experiment(
     deploy_config.rp_monitor.period = config.rp_monitor_period;
     deploy_config.hw_monitor.period = config.hw_monitor_period;
     deploy_config.service.storage = config.storage;
+    deploy_config.client_batching = config.batching;
     deployment = std::make_unique<SomaDeployment>(session, deploy_config);
     deployment->enable_openfoam_tau(model);
     deployment->deploy([&] { submit_app_tasks(); });

@@ -39,6 +39,9 @@ struct OpenFoamExperimentConfig {
   /// auto-shards one per rank with the map backend).
   core::StorageConfig storage{};
 
+  /// Publish coalescing for every monitoring client (off by default).
+  core::BatchingConfig batching{};
+
   [[nodiscard]] static OpenFoamExperimentConfig tuning(std::uint64_t seed = 1);
   [[nodiscard]] static OpenFoamExperimentConfig overloaded(
       std::uint64_t seed = 1);

@@ -23,7 +23,12 @@ void HwMonitor::start(Duration initial_delay) {
   periodic_->start(initial_delay);
 }
 
-void HwMonitor::stop() { periodic_->stop(); }
+void HwMonitor::stop() {
+  periodic_->stop();
+  // Ship any snapshots still coalescing in the client's batcher; a no-op
+  // when batching is off.
+  client_.flush_batches();
+}
 
 double HwMonitor::noise_fraction() const {
   return config_.interference_fraction * config_.scrape_cost.to_seconds() /

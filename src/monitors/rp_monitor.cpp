@@ -24,6 +24,8 @@ void RpMonitor::stop() {
   // since the last periodic tick would otherwise never be reported).
   if (periodic_->running()) tick();
   periodic_->stop();
+  // ... and ship it, if the client is coalescing publishes into batches.
+  client_.flush_batches();
 }
 
 double RpMonitor::cpu_share() const {

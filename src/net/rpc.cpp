@@ -37,7 +37,19 @@ Engine::~Engine() {
 }
 
 void Engine::define(const std::string& rpc, Handler handler) {
+  if (raw_handlers_.contains(rpc)) {
+    throw ConfigError("rpc already defined: " + rpc);
+  }
   const auto [it, inserted] = handlers_.emplace(rpc, std::move(handler));
+  (void)it;
+  if (!inserted) throw ConfigError("rpc already defined: " + rpc);
+}
+
+void Engine::define_raw(const std::string& rpc, RawHandler handler) {
+  if (handlers_.contains(rpc)) {
+    throw ConfigError("rpc already defined: " + rpc);
+  }
+  const auto [it, inserted] = raw_handlers_.emplace(rpc, std::move(handler));
   (void)it;
   if (!inserted) throw ConfigError("rpc already defined: " + rpc);
 }
@@ -52,10 +64,30 @@ void Engine::call(const Address& dest, const std::string& rpc,
                   RetryPolicy policy, ErrorCallback on_error) {
   check(policy.max_attempts >= 1, "retry policy needs at least one attempt");
   const std::uint64_t id = next_request_id_++;
+  send_request(id, dest, encode_frame(wire::Kind::kRequest, id, rpc, args),
+               std::move(on_response), policy, std::move(on_error));
+}
 
-  std::vector<std::byte> frame =
-      encode_frame(wire::Kind::kRequest, id, rpc, args);
+void Engine::call_raw(const Address& dest, const std::string& rpc,
+                      std::size_t body_size, const BodyEncoder& append_body,
+                      ResponseCallback on_response, RetryPolicy policy,
+                      ErrorCallback on_error) {
+  check(policy.max_attempts >= 1, "retry policy needs at least one attempt");
+  const std::uint64_t id = next_request_id_++;
 
+  std::vector<std::byte> frame;
+  frame.reserve(wire::frame_size(wire::Kind::kRequest, rpc.size(), body_size));
+  wire::append_header(frame, wire::Kind::kRequest, id, rpc);
+  append_body(frame);
+
+  send_request(id, dest, std::move(frame), std::move(on_response), policy,
+               std::move(on_error));
+}
+
+void Engine::send_request(std::uint64_t id, const Address& dest,
+                          std::vector<std::byte> frame,
+                          ResponseCallback on_response, RetryPolicy policy,
+                          ErrorCallback on_error) {
   if (on_response || on_error || policy.enabled()) {
     PendingCall pending;
     pending.on_response = std::move(on_response);
@@ -116,6 +148,16 @@ void Engine::on_message(const Address& from, std::vector<std::byte> payload) {
 
   if (header.kind == wire::Kind::kRequest) {
     if (header.attempt > 0) ++stats_.retried_requests;
+    if (!raw_handlers_.empty()) {
+      const auto raw = raw_handlers_.find(std::string(header.rpc));
+      if (raw != raw_handlers_.end()) {
+        const auto body_offset =
+            static_cast<std::size_t>(header.body.data() - payload.data());
+        handle_request_raw(from, header.request_id, &raw->second,
+                           std::move(payload), body_offset);
+        return;
+      }
+    }
     handle_request(from, header.request_id, std::string(header.rpc),
                    datamodel::Node::unpack(header.body), payload_bytes);
   } else {
@@ -170,6 +212,39 @@ void Engine::handle_request(const Address& from, std::uint64_t request_id,
                       << "'";
           response["error"].set("unknown rpc: " + rpc);
         }
+        std::vector<std::byte> frame =
+            encode_frame(wire::Kind::kResponse, request_id, {}, response);
+        stats_.bytes_out += frame.size();
+        network_.send(address_, from, std::move(frame));
+      });
+}
+
+void Engine::handle_request_raw(const Address& from, std::uint64_t request_id,
+                                const RawHandler* handler,
+                                std::vector<std::byte> payload,
+                                std::size_t body_offset) {
+  const std::size_t payload_bytes = payload.size();
+  stats_.bytes_in += payload_bytes;
+  if (cost_.is_bulk(payload_bytes)) ++stats_.bulk_transfers;
+
+  sim::Simulation& simulation = network_.simulation();
+  const SimTime now = simulation.now();
+  const SimTime start = std::max(now, busy_until_);
+  const Duration service = cost_.cost_for(payload_bytes);
+  busy_until_ = start + service;
+
+  const Duration queue_delay = start - now;
+  stats_.total_queue_delay += queue_delay;
+  stats_.max_queue_delay = std::max(stats_.max_queue_delay, queue_delay);
+  stats_.total_service_time += service;
+
+  simulation.schedule_at(
+      busy_until_, [this, from, request_id, handler,
+                    payload = std::move(payload), body_offset]() mutable {
+        ++stats_.requests_handled;
+        const std::span<const std::byte> body =
+            std::span<const std::byte>(payload).subspan(body_offset);
+        datamodel::Node response = (*handler)(from, body);
         std::vector<std::byte> frame =
             encode_frame(wire::Kind::kResponse, request_id, {}, response);
         stats_.bytes_out += frame.size();

@@ -12,8 +12,10 @@
 // falls behind at high monitoring frequency (paper Fig. 11).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -109,6 +111,13 @@ class Engine {
   using ResponseCallback = std::function<void(datamodel::Node response)>;
   /// Fired when a call exhausts its retry budget without a response.
   using ErrorCallback = std::function<void(const std::string& error)>;
+  /// A server-side handler over the raw frame body (no Node::unpack on the
+  /// receive path); the handler owns the decode. Used by batch RPCs whose
+  /// bodies are not a single packed Node.
+  using RawHandler = std::function<datamodel::Node(
+      const Address& caller, std::span<const std::byte> body)>;
+  /// Packs a call body straight behind an already-written frame header.
+  using BodyEncoder = std::function<void(std::vector<std::byte>& frame)>;
 
   Engine(Network& network, Address address, ServiceCost cost = {});
   ~Engine();
@@ -121,6 +130,18 @@ class Engine {
 
   /// Register a named RPC. Throws ConfigError on duplicate names.
   void define(const std::string& rpc, Handler handler);
+
+  /// Register a raw-body RPC: the handler receives the undecoded body span
+  /// and decodes it itself. Shares the name space with `define`.
+  void define_raw(const std::string& rpc, RawHandler handler);
+
+  /// Invoke `rpc` at `dest` with a caller-encoded body. `body_size` must be
+  /// the exact number of bytes `append_body` appends (it sizes the single
+  /// frame allocation). Reliability semantics match the Node-body `call`.
+  void call_raw(const Address& dest, const std::string& rpc,
+                std::size_t body_size, const BodyEncoder& append_body,
+                ResponseCallback on_response = nullptr, RetryPolicy policy = {},
+                ErrorCallback on_error = nullptr);
 
   /// Invoke `rpc` at `dest`. `on_response` (optional) fires when the reply
   /// arrives back at this engine. Fire-and-forget calls still receive and
@@ -157,12 +178,25 @@ class Engine {
   void handle_request(const Address& from, std::uint64_t request_id,
                       const std::string& rpc, datamodel::Node args,
                       std::size_t payload_bytes);
+  /// Raw-handler variant: keeps the whole frame alive and hands the handler
+  /// the body span at dispatch time (decode happens after the queueing
+  /// delay, as the Node path's unpack-then-queue does in reverse).
+  void handle_request_raw(const Address& from, std::uint64_t request_id,
+                          const RawHandler* handler,
+                          std::vector<std::byte> payload,
+                          std::size_t body_offset);
+  /// Shared client-side send path: registers the pending call (and retry
+  /// timer) and puts the encoded frame on the wire.
+  void send_request(std::uint64_t id, const Address& dest,
+                    std::vector<std::byte> frame, ResponseCallback on_response,
+                    RetryPolicy policy, ErrorCallback on_error);
   void on_timeout(std::uint64_t request_id);
 
   Network& network_;
   Address address_;
   ServiceCost cost_;
   std::unordered_map<std::string, Handler> handlers_;
+  std::unordered_map<std::string, RawHandler> raw_handlers_;
   std::unordered_map<std::uint64_t, PendingCall> pending_;
   /// Ids of retried or exhausted calls, for duplicate-response suppression.
   /// Plain single-shot ids never enter, so fire-and-forget acks stay cheap.

@@ -102,4 +102,128 @@ FrameHeader decode_header(std::span<const std::byte> frame) {
       frame.subspan(body_offset)};
 }
 
+// ---------------------------------------------------------------------------
+// Batch bodies
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  const std::size_t base = out.size();
+  out.resize(base + 4);
+  put_u32(out.data() + base, v);
+}
+
+void append_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  const std::size_t base = out.size();
+  out.resize(base + 8);
+  put_u64(out.data() + base, v);
+}
+
+void append_bytes(std::vector<std::byte>& out, const void* data,
+                  std::size_t size) {
+  const std::size_t base = out.size();
+  out.resize(base + size);
+  if (size != 0) std::memcpy(out.data() + base, data, size);
+}
+
+/// Bounds-checked cursor over a batch body.
+struct Reader {
+  std::span<const std::byte> buffer;
+  std::size_t offset = 0;
+
+  void need(std::size_t n) const {
+    if (offset + n > buffer.size()) {
+      throw soma::LookupError("wire: truncated batch body");
+    }
+  }
+  std::uint32_t u32() {
+    need(4);
+    const std::uint32_t v = get_u32(buffer.data() + offset);
+    offset += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    const std::uint64_t v = get_u64(buffer.data() + offset);
+    offset += 8;
+    return v;
+  }
+  std::string_view str(std::size_t n) {
+    need(n);
+    const auto* p = reinterpret_cast<const char*>(buffer.data() + offset);
+    offset += n;
+    return std::string_view(p, n);
+  }
+  std::span<const std::byte> bytes(std::size_t n) {
+    need(n);
+    const auto view = buffer.subspan(offset, n);
+    offset += n;
+    return view;
+  }
+};
+
+}  // namespace
+
+BatchBodyWriter::BatchBodyWriter(std::string ns) : ns_(std::move(ns)) {}
+
+std::size_t BatchBodyWriter::add(const std::string& source,
+                                 std::int64_t t_nanos,
+                                 const datamodel::Node& data) {
+  const auto [it, inserted] =
+      dict_index_.emplace(source, static_cast<std::uint32_t>(dict_.size()));
+  if (inserted) {
+    dict_.push_back(source);
+    dict_bytes_ += 4 + source.size();
+  }
+  append_u32(records_, it->second);
+  append_u64(records_, static_cast<std::uint64_t>(t_nanos));
+  append_u32(records_, static_cast<std::uint32_t>(data.packed_size()));
+  data.pack(records_);
+  return ++count_;
+}
+
+std::size_t BatchBodyWriter::body_size() const {
+  // ns (len + bytes) + record count + dict count + dict + records.
+  return 4 + ns_.size() + 4 + 4 + dict_bytes_ + records_.size();
+}
+
+void BatchBodyWriter::encode(std::vector<std::byte>& out) const {
+  append_u32(out, static_cast<std::uint32_t>(ns_.size()));
+  append_bytes(out, ns_.data(), ns_.size());
+  append_u32(out, static_cast<std::uint32_t>(count_));
+  append_u32(out, static_cast<std::uint32_t>(dict_.size()));
+  for (const std::string& source : dict_) {
+    append_u32(out, static_cast<std::uint32_t>(source.size()));
+    append_bytes(out, source.data(), source.size());
+  }
+  append_bytes(out, records_.data(), records_.size());
+}
+
+BatchView decode_batch_body(std::span<const std::byte> body) {
+  Reader reader{body};
+  BatchView view;
+  view.ns = reader.str(reader.u32());
+  const std::uint32_t record_count = reader.u32();
+  const std::uint32_t dict_count = reader.u32();
+  std::vector<std::string_view> dict;
+  dict.reserve(dict_count);
+  for (std::uint32_t i = 0; i < dict_count; ++i) {
+    dict.push_back(reader.str(reader.u32()));
+  }
+  view.records.reserve(record_count);
+  for (std::uint32_t i = 0; i < record_count; ++i) {
+    BatchRecordView record;
+    const std::uint32_t source_index = reader.u32();
+    if (source_index >= dict.size()) {
+      throw soma::LookupError("wire: batch source index out of range");
+    }
+    record.source = dict[source_index];
+    record.t_nanos = static_cast<std::int64_t>(reader.u64());
+    record.payload = reader.bytes(reader.u32());
+    view.records.push_back(record);
+  }
+  return view;
+}
+
 }  // namespace soma::net::wire

@@ -26,8 +26,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
+
+#include "datamodel/node.hpp"
 
 namespace soma::net::wire {
 
@@ -80,5 +84,66 @@ void set_request_attempt(std::vector<std::byte>& frame, std::uint8_t attempt);
 /// frame, bad magic, or an unknown kind. The returned views are valid only
 /// as long as `frame`'s storage is.
 [[nodiscard]] FrameHeader decode_header(std::span<const std::byte> frame);
+
+// ---------------------------------------------------------------------------
+// Batch frames
+//
+// A batch body packs N publish records into one request frame, behind the
+// ordinary frame header (rpc "soma.publish_batch"). Sources repeat heavily
+// within one client's window — a monitor publishes the same hostname every
+// tick — so source strings are stored once in a dictionary and referenced by
+// index. Layout (all integers little-endian):
+//
+//   u32  ns_len, ns bytes               target namespace tag
+//   u32  record count
+//   u32  dictionary count
+//   dictionary entries:  u32 len, bytes
+//   records:             u32 source dict index
+//                        i64 publish time (nanos)
+//                        u32 payload len, Node::pack payload
+// ---------------------------------------------------------------------------
+
+/// Incremental batch-body encoder. Records are packed as they are added so
+/// the coalescing layer can enforce a byte budget without a second pass;
+/// `encode` only copies the already-packed region behind the frame header.
+class BatchBodyWriter {
+ public:
+  explicit BatchBodyWriter(std::string ns);
+
+  /// Pack one record. Returns the record count after the add.
+  std::size_t add(const std::string& source, std::int64_t t_nanos,
+                  const datamodel::Node& data);
+
+  [[nodiscard]] std::size_t record_count() const { return count_; }
+  /// Exact size of the encoded body in bytes.
+  [[nodiscard]] std::size_t body_size() const;
+  /// Append the body encoding to `out` (behind an already-written header).
+  void encode(std::vector<std::byte>& out) const;
+
+ private:
+  std::string ns_;
+  std::vector<std::string> dict_;
+  std::unordered_map<std::string, std::uint32_t> dict_index_;
+  std::size_t dict_bytes_ = 0;
+  std::vector<std::byte> records_;
+  std::size_t count_ = 0;
+};
+
+/// One decoded record; `source` and `payload` view into the frame buffer.
+struct BatchRecordView {
+  std::string_view source;
+  std::int64_t t_nanos = 0;
+  std::span<const std::byte> payload;  ///< Node::pack encoding
+};
+
+/// Decoded batch body; views are valid as long as the frame's storage is.
+struct BatchView {
+  std::string_view ns;
+  std::vector<BatchRecordView> records;
+};
+
+/// Decode a batch body (the `body` span of a decoded frame header). Throws
+/// soma::LookupError on truncation or a dictionary index out of range.
+[[nodiscard]] BatchView decode_batch_body(std::span<const std::byte> body);
 
 }  // namespace soma::net::wire

@@ -64,6 +64,10 @@ class TauSomaPlugin {
   /// data lands on the same service rank.
   void publish(const TauProfile& profile);
 
+  /// Ship any profiles still coalescing in the client's batcher (end-of-run
+  /// hook; a no-op when batching is off).
+  void flush() { client_.flush_batches(); }
+
   [[nodiscard]] std::uint64_t profiles_published() const { return published_; }
 
  private:

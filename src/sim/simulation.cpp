@@ -40,7 +40,14 @@ EventHandle Simulation::schedule_at(SimTime when, Callback fn) {
   const std::uint32_t slot = acquire_slot();
   const std::uint64_t generation = slots_[slot].generation;
   queue_.push(Event{when, next_seq_++, std::move(fn), slot, generation});
+  ++live_events_;
   return EventHandle{this, slot, generation};
+}
+
+void Simulation::reserve(std::size_t n) {
+  queue_.reserve(n);
+  slots_.reserve(n);
+  free_slots_.reserve(n);
 }
 
 void Simulation::dispatch_front() {
@@ -51,6 +58,7 @@ void Simulation::dispatch_front() {
   // The event is no longer pending the moment it fires; its handle goes
   // stale before the callback runs so valid() is false inside the callback.
   release_slot(event.slot);
+  --live_events_;
   now_ = event.when;
   ++dispatched_;
   event.fn();
@@ -91,16 +99,8 @@ SimTime Simulation::run_until(SimTime until) {
 }
 
 PeriodicTask::PeriodicTask(Simulation& simulation, Duration period, Tick tick)
-    : simulation_(simulation),
-      period_(period),
-      tick_(std::move(tick)),
-      alive_(std::make_shared<bool>(true)) {
+    : simulation_(simulation), period_(period), tick_(std::move(tick)) {
   check(period_ > Duration::zero(), "periodic task period must be positive");
-}
-
-PeriodicTask::~PeriodicTask() {
-  *alive_ = false;
-  stop();
 }
 
 void PeriodicTask::start(Duration initial_delay) {
@@ -115,12 +115,16 @@ void PeriodicTask::stop() {
 }
 
 void PeriodicTask::arm(Duration delay) {
-  // The lambda captures `alive_` by value so that a PeriodicTask destroyed
-  // mid-simulation never has its members touched by a stale event.
-  pending_ = simulation_.schedule(delay, [this, alive = alive_] {
-    if (!*alive || !running_) return;
+  // A cancelled event is discarded without running, so a stale `this` is
+  // never dereferenced: stop() (and therefore the destructor) cancels the one
+  // pending event through its handle. The event's own slot is released before
+  // the callback runs, so inside the tick pending_.valid() is true only if
+  // the tick itself rearmed (stop()+start()); skip the trailing rearm then to
+  // keep a single pending event per task.
+  pending_ = simulation_.schedule(delay, [this] {
+    if (!running_) return;
     tick_();
-    if (*alive && running_) arm(period_);
+    if (running_ && !pending_.valid()) arm(period_);
   });
 }
 

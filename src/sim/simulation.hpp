@@ -16,8 +16,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <queue>
 #include <vector>
 
@@ -95,9 +93,13 @@ class Simulation {
     return dispatched_;
   }
 
-  /// Number of events currently pending (cancelled events are counted until
-  /// they are lazily discarded).
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  /// Number of live events currently pending. Cancelled events still sit in
+  /// the queue until lazily discarded, but are not counted here.
+  [[nodiscard]] std::size_t pending() const { return live_events_; }
+
+  /// Pre-size the event queue and slot table for `n` concurrent events (the
+  /// big scaling benches schedule tens of thousands up front).
+  void reserve(std::size_t n);
 
  private:
   friend class EventHandle;
@@ -129,7 +131,10 @@ class Simulation {
            slots_[slot].pending;
   }
   void cancel_event(std::uint32_t slot, std::uint64_t generation) {
-    if (event_pending(slot, generation)) slots_[slot].pending = false;
+    if (event_pending(slot, generation)) {
+      slots_[slot].pending = false;
+      --live_events_;
+    }
   }
 
   std::uint32_t acquire_slot();
@@ -144,22 +149,33 @@ class Simulation {
   /// Pop cancelled events off the front, retiring their slots.
   void discard_cancelled_front();
 
+  /// priority_queue with access to the underlying vector's capacity.
+  struct EventQueue : std::priority_queue<Event, std::vector<Event>, Later> {
+    void reserve(std::size_t n) { c.reserve(n); }
+  };
+
   SimTime now_{};
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::size_t live_events_ = 0;
+  EventQueue queue_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
 };
 
 /// Convenience owner for repeating activities: reschedules itself every
 /// `period` until stop() is called. Used by the monitoring clients.
+///
+/// Liveness follows the engine's generation-counted cancellation: the task
+/// owns at most one pending event, stop()/destruction cancel it through its
+/// EventHandle, and a cancelled event is discarded without ever invoking the
+/// callback — so the `this` capture can never be touched after destruction.
 class PeriodicTask {
  public:
-  using Tick = std::function<void()>;
+  using Tick = common::UniqueFunction<void()>;
 
   PeriodicTask(Simulation& simulation, Duration period, Tick tick);
-  ~PeriodicTask();
+  ~PeriodicTask() { stop(); }
   PeriodicTask(const PeriodicTask&) = delete;
   PeriodicTask& operator=(const PeriodicTask&) = delete;
 
@@ -181,7 +197,6 @@ class PeriodicTask {
   Tick tick_;
   bool running_ = false;
   EventHandle pending_;
-  std::shared_ptr<bool> alive_;
 };
 
 }  // namespace soma::sim

@@ -10,11 +10,12 @@ namespace soma::core {
 
 SomaClient::SomaClient(net::Network& network, NodeId node, int port,
                        Namespace ns, std::vector<net::Address> instance_ranks,
-                       ClientReliability reliability)
+                       ClientReliability reliability, BatchingConfig batching)
     : network_(network),
       ns_(ns),
       instance_ranks_(std::move(instance_ranks)),
-      reliability_(reliability) {
+      reliability_(reliability),
+      batching_(batching) {
   check(!instance_ranks_.empty(), "SOMA client needs >= 1 service rank");
   // The client stub handles only tiny acks; give it a near-zero cost model.
   net::ServiceCost stub_cost;
@@ -29,6 +30,14 @@ SomaClient::SomaClient(net::Network& network, NodeId node, int port,
     probe_task_ = std::make_unique<sim::PeriodicTask>(
         network_.simulation(), reliability_.probe_period,
         [this] { probe_tick(); });
+  }
+  if (batching_.enabled()) {
+    batcher_ = std::make_unique<PublishBatcher>(
+        network_.simulation(), std::string(to_string(ns_)),
+        instance_ranks_.size(), batching_,
+        [this](std::size_t rank_index, PublishBatcher::Batch batch) {
+          send_batch(rank_index, std::move(batch));
+        });
   }
 }
 
@@ -62,13 +71,25 @@ void SomaClient::publish(const std::string& source, datamodel::Node data,
       return;
     }
   }
+  if (batcher_) {
+    // Coalesce. The batcher keeps a payload copy only when a failed batch
+    // must fall back to the re-buffer path (same rule as the single-record
+    // send below).
+    const bool keep_copy =
+        reliability_.retry.enabled() && reliability_.buffer_on_failure;
+    batcher_->add(resolve_publish_rank(source), source, std::move(data), now,
+                  std::move(on_ack), keep_copy);
+    return;
+  }
   send_publish(source, std::move(data), now, std::move(on_ack),
                /*replay=*/false);
 }
 
-void SomaClient::send_publish(const std::string& source, datamodel::Node data,
-                              SimTime published_at,
-                              std::function<void()> on_ack, bool replay) {
+void SomaClient::flush_batches() {
+  if (batcher_) batcher_->flush_all();
+}
+
+std::size_t SomaClient::resolve_publish_rank(const std::string& source) {
   std::size_t idx = rank_index_for(source);
   if (rank_down_[idx] && reliability_.failover &&
       !reliability_.buffer_on_failure) {
@@ -83,6 +104,14 @@ void SomaClient::send_publish(const std::string& source, datamodel::Node data,
       }
     }
   }
+  return idx;
+}
+
+void SomaClient::send_publish(const std::string& source, datamodel::Node data,
+                              SimTime published_at,
+                              std::function<void()> on_ack, bool replay,
+                              bool from_batch) {
+  const std::size_t idx = resolve_publish_rank(source);
 
   // Keep a copy only when a failed send must be re-buffered; plain and
   // failover-only clients never pay it.
@@ -117,24 +146,78 @@ void SomaClient::send_publish(const std::string& source, datamodel::Node data,
 
   net::Engine::ErrorCallback on_error =
       [this, idx, source, data_copy = std::move(data_copy), published_at,
-       on_ack](const std::string& /*error*/) mutable {
+       on_ack, from_batch](const std::string& /*error*/) mutable {
         on_publish_failure(idx, source, std::move(data_copy), published_at,
-                           std::move(on_ack));
+                           std::move(on_ack), from_batch);
       };
   engine_->call(instance_ranks_[idx], "soma.publish", std::move(args),
                 std::move(on_response), reliability_.retry,
                 std::move(on_error));
 }
 
+void SomaClient::send_batch(std::size_t rank_index,
+                            PublishBatcher::Batch batch) {
+  if (batch.records.empty()) return;
+  ++stats_.batches_sent;
+  const std::size_t count = batch.records.size();
+  // The per-record state is shared between the ack and error callbacks (only
+  // one of them ever consumes it).
+  auto records = std::make_shared<std::vector<PublishBatcher::PendingRecord>>(
+      std::move(batch.records));
+
+  const SimTime sent_at = network_.simulation().now();
+  auto on_response = [this, sent_at, records,
+                      count](const datamodel::Node& /*reply*/) {
+    stats_.acked += count;
+    const Duration latency = network_.simulation().now() - sent_at;
+    stats_.total_ack_latency += latency * static_cast<double>(count);
+    stats_.max_ack_latency = std::max(stats_.max_ack_latency, latency);
+    for (PublishBatcher::PendingRecord& record : *records) {
+      if (record.on_ack) record.on_ack();
+    }
+  };
+
+  const auto encode = [&batch](std::vector<std::byte>& frame) {
+    batch.body.encode(frame);
+  };
+
+  if (!reliability_.retry.enabled()) {
+    engine_->call_raw(instance_ranks_[rank_index], "soma.publish_batch",
+                      batch.body.body_size(), encode, std::move(on_response));
+    return;
+  }
+
+  net::Engine::ErrorCallback on_error =
+      [this, rank_index, records](const std::string& /*error*/) {
+        // A failed batch degrades to the single-record reliability path:
+        // every record re-buffers (or is counted failed) with its original
+        // publish timestamp, so replay is indistinguishable from a failed
+        // record-at-a-time run.
+        for (PublishBatcher::PendingRecord& record : *records) {
+          on_publish_failure(rank_index, record.source, std::move(record.data),
+                             record.published_at, std::move(record.on_ack),
+                             /*from_batch=*/true);
+        }
+      };
+  engine_->call_raw(instance_ranks_[rank_index], "soma.publish_batch",
+                    batch.body.body_size(), encode, std::move(on_response),
+                    reliability_.retry, std::move(on_error));
+}
+
 void SomaClient::enqueue_buffered(const std::string& source,
                                   datamodel::Node data, SimTime published_at,
-                                  std::function<void()> on_ack) {
+                                  std::function<void()> on_ack,
+                                  bool from_batch) {
   if (buffer_.size() >= reliability_.max_buffered) {
+    if (buffer_.front().from_batch) {
+      ++stats_.dropped_batch_records;
+    } else {
+      ++stats_.dropped_overflow;
+    }
     buffer_.pop_front();
-    ++stats_.dropped_overflow;
   }
   buffer_.push_back(Buffered{next_buffer_seq_++, source, std::move(data),
-                             published_at, std::move(on_ack)});
+                             published_at, std::move(on_ack), from_batch});
   ++stats_.buffered;
   ensure_probe_running();
 }
@@ -142,13 +225,15 @@ void SomaClient::enqueue_buffered(const std::string& source,
 void SomaClient::on_publish_failure(std::size_t rank_index,
                                     const std::string& source,
                                     datamodel::Node data, SimTime published_at,
-                                    std::function<void()> on_ack) {
+                                    std::function<void()> on_ack,
+                                    bool from_batch) {
   ++stats_.publish_failures;
   rank_down_[rank_index] = 1;
   SOMA_DEBUG() << "soma client " << address() << ": collector "
                << instance_ranks_[rank_index] << " unresponsive";
   if (reliability_.buffer_on_failure) {
-    enqueue_buffered(source, std::move(data), published_at, std::move(on_ack));
+    enqueue_buffered(source, std::move(data), published_at, std::move(on_ack),
+                     from_batch);
   }
   if (reliability_.degradation_enabled()) ensure_probe_running();
 }
@@ -178,7 +263,8 @@ void SomaClient::flush_buffer() {
   for (Buffered& record : ready) {
     ++stats_.replayed;
     send_publish(record.source, std::move(record.data), record.published_at,
-                 std::move(record.on_ack), /*replay=*/true);
+                 std::move(record.on_ack), /*replay=*/true,
+                 record.from_batch);
   }
 }
 

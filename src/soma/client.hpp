@@ -29,6 +29,7 @@
 #include "datamodel/node.hpp"
 #include "net/rpc.hpp"
 #include "sim/simulation.hpp"
+#include "soma/batcher.hpp"
 #include "soma/namespaces.hpp"
 
 namespace soma::core {
@@ -67,6 +68,11 @@ class SomaClient {
     std::uint64_t replayed = 0;          ///< buffered publishes re-sent
     std::uint64_t failovers = 0;         ///< publishes redirected to a live rank
     std::uint64_t dropped_overflow = 0;  ///< buffer-capacity evictions
+    /// Buffer-capacity evictions of records that arrived via a failed batch
+    /// (kept distinct from dropped_overflow so reliability totals stay exact
+    /// under batching + faults).
+    std::uint64_t dropped_batch_records = 0;
+    std::uint64_t batches_sent = 0;      ///< publish_batch frames sent
     Duration total_ack_latency;
     Duration max_ack_latency;
 
@@ -80,7 +86,7 @@ class SomaClient {
   /// unique per client on that node.
   SomaClient(net::Network& network, NodeId node, int port, Namespace ns,
              std::vector<net::Address> instance_ranks,
-             ClientReliability reliability = {});
+             ClientReliability reliability = {}, BatchingConfig batching = {});
   ~SomaClient();
   SomaClient(const SomaClient&) = delete;
   SomaClient& operator=(const SomaClient&) = delete;
@@ -97,6 +103,15 @@ class SomaClient {
   [[nodiscard]] const ClientReliability& reliability() const {
     return reliability_;
   }
+  [[nodiscard]] const BatchingConfig& batching() const { return batching_; }
+  /// Batcher flush statistics (zeroed when batching is off).
+  [[nodiscard]] PublishBatcher::Stats batcher_stats() const {
+    return batcher_ ? batcher_->stats() : PublishBatcher::Stats{};
+  }
+  /// Records coalesced but not yet shipped (0 when batching is off).
+  [[nodiscard]] std::size_t batched_pending() const {
+    return batcher_ ? batcher_->pending_records() : 0;
+  }
 
   /// True while at least one target rank is considered down (the client is
   /// buffering or failing over). Monitors report this as degraded ticks.
@@ -108,6 +123,10 @@ class SomaClient {
   /// (optional) fires when the service acknowledges.
   void publish(const std::string& source, datamodel::Node data,
                std::function<void()> on_ack = nullptr);
+
+  /// Ship any coalesced-but-unflushed batches now. No-op when batching is
+  /// off; owners call this on shutdown so the tail of a run is not lost.
+  void flush_batches();
 
   /// Query the service (kind = "latest" / "sources" / "stats"; see
   /// SomaService). The reply arrives asynchronously.
@@ -122,19 +141,27 @@ class SomaClient {
     datamodel::Node data;
     SimTime published_at;
     std::function<void()> on_ack;
+    bool from_batch = false;  ///< arrived via a failed batch
   };
 
   [[nodiscard]] std::size_t rank_index_for(const std::string& source) const;
   [[nodiscard]] const net::Address& rank_for(const std::string& source) const;
 
+  /// The rank a publish ships to right now: the source's home rank, or a
+  /// failover redirect while the home rank is down (counts the failover).
+  [[nodiscard]] std::size_t resolve_publish_rank(const std::string& source);
+
   void send_publish(const std::string& source, datamodel::Node data,
                     SimTime published_at, std::function<void()> on_ack,
-                    bool replay);
+                    bool replay, bool from_batch = false);
+  void send_batch(std::size_t rank_index, PublishBatcher::Batch batch);
   void enqueue_buffered(const std::string& source, datamodel::Node data,
-                        SimTime published_at, std::function<void()> on_ack);
+                        SimTime published_at, std::function<void()> on_ack,
+                        bool from_batch = false);
   void on_publish_failure(std::size_t rank_index, const std::string& source,
                           datamodel::Node data, SimTime published_at,
-                          std::function<void()> on_ack);
+                          std::function<void()> on_ack,
+                          bool from_batch = false);
   /// Replay buffered publishes whose target rank is back up, oldest first.
   void flush_buffer();
   void ensure_probe_running();
@@ -144,7 +171,9 @@ class SomaClient {
   Namespace ns_;
   std::vector<net::Address> instance_ranks_;
   ClientReliability reliability_;
+  BatchingConfig batching_;
   std::unique_ptr<net::Engine> engine_;
+  std::unique_ptr<PublishBatcher> batcher_;  ///< null when batching is off
   std::vector<char> rank_down_;       // 1 = considered down
   std::vector<char> probe_in_flight_; // 1 = ping outstanding
   std::deque<Buffered> buffer_;

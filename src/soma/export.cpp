@@ -43,6 +43,7 @@ datamodel::Node export_shard_report(const DataStore& store) {
               ["shard_" + std::to_string(counters.shard)];
     entry["records"].set(static_cast<std::int64_t>(counters.records));
     entry["bytes"].set(static_cast<std::int64_t>(counters.bytes));
+    entry["batches"].set(static_cast<std::int64_t>(counters.batches));
   }
   return report;
 }
@@ -118,6 +119,7 @@ datamodel::Node export_fault_report(
   datamodel::Node& reliability = report["clients"];
   std::uint64_t publish_failures = 0, buffered = 0, replayed = 0;
   std::uint64_t failovers = 0, dropped_overflow = 0;
+  std::uint64_t dropped_batch_records = 0, batches_sent = 0;
   std::uint64_t retries = 0, timeouts = 0, calls_failed = 0, duplicates = 0;
   for (const SomaClient* client : clients) {
     if (client == nullptr) continue;
@@ -127,6 +129,8 @@ datamodel::Node export_fault_report(
     replayed += s.replayed;
     failovers += s.failovers;
     dropped_overflow += s.dropped_overflow;
+    dropped_batch_records += s.dropped_batch_records;
+    batches_sent += s.batches_sent;
     const net::EngineStats& e = client->engine_stats();
     retries += e.retries;
     timeouts += e.timeouts;
@@ -140,6 +144,9 @@ datamodel::Node export_fault_report(
   reliability["failovers"].set(static_cast<std::int64_t>(failovers));
   reliability["dropped_overflow"].set(
       static_cast<std::int64_t>(dropped_overflow));
+  reliability["dropped_batch_records"].set(
+      static_cast<std::int64_t>(dropped_batch_records));
+  reliability["batches_sent"].set(static_cast<std::int64_t>(batches_sent));
   reliability["rpc_retries"].set(static_cast<std::int64_t>(retries));
   reliability["rpc_timeouts"].set(static_cast<std::int64_t>(timeouts));
   reliability["rpc_calls_failed"].set(

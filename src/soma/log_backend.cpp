@@ -25,8 +25,8 @@ std::vector<const TimedRecord*>::const_iterator upper_bound_time(
 LogBackend::LogBackend(std::size_t latest_cache_capacity)
     : cache_capacity_(std::max<std::size_t>(1, latest_cache_capacity)) {}
 
-void LogBackend::append(const std::string& source, SimTime time,
-                        datamodel::Node data) {
+bool LogBackend::append_indexed(const std::string& source, SimTime time,
+                                datamodel::Node data) {
   bytes_ += data.packed_size();
   ++records_;
   log_.push_back(TimedRecord{time, std::move(data)});
@@ -41,14 +41,48 @@ void LogBackend::append(const std::string& source, SimTime time,
     const auto at = upper_bound_time(index.begin(), index.end(), time);
     index.insert(index.begin() + (at - index.cbegin()), stored);
   }
+  return is_newest;
+}
+
+void LogBackend::append(const std::string& source, SimTime time,
+                        datamodel::Node data) {
+  const bool is_newest = append_indexed(source, time, std::move(data));
 
   // Keep the snapshot cache coherent: a cached entry must always point at
   // the newest record of its source.
+  const TimedRecord* stored = &log_.back();
   const auto cached = cache_map_.find(source);
   if (cached != cache_map_.end()) {
     if (is_newest) cached->second->record = stored;
   } else if (is_newest) {
     cache_put(source, stored);
+  }
+}
+
+void LogBackend::append_batch(std::vector<BatchItem> items) {
+  if (items.empty()) return;
+  ++batches_;
+  // Index every record first, then reconcile the snapshot cache once per
+  // touched source — the single cache update per source is the point of the
+  // batch path (cache semantics match sequential appends: a source gains or
+  // refreshes a cache entry only if the batch advanced its newest record).
+  std::vector<const std::string*> newest_touched;
+  for (BatchItem& item : items) {
+    const bool is_newest =
+        append_indexed(item.source, item.time, std::move(item.data));
+    if (is_newest &&
+        (newest_touched.empty() || *newest_touched.back() != item.source)) {
+      newest_touched.push_back(&item.source);
+    }
+  }
+  for (const std::string* source : newest_touched) {
+    const TimedRecord* newest = index_[*source].back();
+    const auto cached = cache_map_.find(*source);
+    if (cached != cache_map_.end()) {
+      cached->second->record = newest;
+    } else {
+      cache_put(*source, newest);
+    }
   }
 }
 

@@ -24,6 +24,7 @@ class LogBackend final : public StorageBackend {
 
   void append(const std::string& source, SimTime time,
               datamodel::Node data) override;
+  void append_batch(std::vector<BatchItem> items) override;
   [[nodiscard]] const TimedRecord* latest(
       const std::string& source) const override;
   [[nodiscard]] std::vector<const TimedRecord*> series(
@@ -37,6 +38,7 @@ class LogBackend final : public StorageBackend {
   [[nodiscard]] std::uint64_t ingested_bytes() const override {
     return bytes_;
   }
+  [[nodiscard]] std::uint64_t batch_count() const override { return batches_; }
   [[nodiscard]] StorageBackendKind kind() const override {
     return StorageBackendKind::kLog;
   }
@@ -58,11 +60,17 @@ class LogBackend final : public StorageBackend {
   const TimedRecord* touch(std::list<CacheEntry>::iterator it) const;
   /// Insert/update the cached latest snapshot for `source`.
   void cache_put(const std::string& source, const TimedRecord* record) const;
+  /// Append one record into the log and `source`'s index; returns true when
+  /// the record became its source's newest (cache maintenance is the
+  /// caller's: once per record for append, once per source for a batch).
+  bool append_indexed(const std::string& source, SimTime time,
+                      datamodel::Node data);
 
   std::deque<TimedRecord> log_;  ///< append-only; addresses never move
   std::map<std::string, std::vector<const TimedRecord*>> index_;
   std::uint64_t records_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t batches_ = 0;
 
   // LRU cache: front = most recently used. Mutable: `latest` is logically
   // const but promotes entries and records hit/miss accounting.

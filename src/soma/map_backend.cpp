@@ -15,11 +15,8 @@ std::vector<TimedRecord>::const_iterator lower_bound_time(
 
 }  // namespace
 
-void MapBackend::append(const std::string& source, SimTime time,
-                        datamodel::Node data) {
-  bytes_ += data.packed_size();
-  ++records_;
-  std::vector<TimedRecord>& series = by_source_[source];
+void MapBackend::append_into(std::vector<TimedRecord>& series, SimTime time,
+                             datamodel::Node data) {
   // Series are appended at service-ingest time and so arrive time-sorted;
   // a late record (client replay across a failover) is inserted in place so
   // the sorted-series invariant every query relies on holds regardless.
@@ -31,6 +28,31 @@ void MapBackend::append(const std::string& source, SimTime time,
       series.begin(), series.end(), time,
       [](SimTime t, const TimedRecord& record) { return t < record.time; });
   series.insert(at, TimedRecord{time, std::move(data)});
+}
+
+void MapBackend::append(const std::string& source, SimTime time,
+                        datamodel::Node data) {
+  bytes_ += data.packed_size();
+  ++records_;
+  append_into(by_source_[source], time, std::move(data));
+}
+
+void MapBackend::append_batch(std::vector<BatchItem> items) {
+  if (items.empty()) return;
+  ++batches_;
+  // One client batch is typically runs of the same source (a monitor's tick
+  // window); reuse the located series across a run to skip the map lookup.
+  std::vector<TimedRecord>* series = nullptr;
+  const std::string* current = nullptr;
+  for (BatchItem& item : items) {
+    bytes_ += item.data.packed_size();
+    ++records_;
+    if (current == nullptr || item.source != *current) {
+      series = &by_source_[item.source];
+      current = &item.source;
+    }
+    append_into(*series, item.time, std::move(item.data));
+  }
 }
 
 const TimedRecord* MapBackend::latest(const std::string& source) const {

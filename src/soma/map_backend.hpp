@@ -14,6 +14,7 @@ class MapBackend final : public StorageBackend {
  public:
   void append(const std::string& source, SimTime time,
               datamodel::Node data) override;
+  void append_batch(std::vector<BatchItem> items) override;
   [[nodiscard]] const TimedRecord* latest(
       const std::string& source) const override;
   [[nodiscard]] std::vector<const TimedRecord*> series(
@@ -25,14 +26,21 @@ class MapBackend final : public StorageBackend {
   [[nodiscard]] std::uint64_t ingested_bytes() const override {
     return bytes_;
   }
+  [[nodiscard]] std::uint64_t batch_count() const override { return batches_; }
   [[nodiscard]] StorageBackendKind kind() const override {
     return StorageBackendKind::kMap;
   }
 
  private:
+  /// Append into an already-located series (batch path: the source lookup is
+  /// paid once per source run, not once per record).
+  static void append_into(std::vector<TimedRecord>& series, SimTime time,
+                          datamodel::Node data);
+
   std::map<std::string, std::vector<TimedRecord>> by_source_;
   std::uint64_t records_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t batches_ = 0;
 };
 
 }  // namespace soma::core

@@ -1,8 +1,10 @@
 #include "soma/service.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "common/error.hpp"
+#include "net/wire.hpp"
 
 namespace soma::core {
 namespace {
@@ -89,6 +91,32 @@ void SomaService::define_rpcs(net::Engine& engine, int shard_index) {
     ack["status"].set("ok");
     return ack;
   });
+
+  // Batched publishes: one frame carries N records, decoded straight off the
+  // frame body (no envelope Node). Records keep the client-side publish
+  // timestamps packed into the frame, so a batched series stores the same
+  // per-tick stamps a record-at-a-time client would have produced.
+  engine.define_raw(
+      "soma.publish_batch",
+      [this, shard_index](const net::Address& /*caller*/,
+                          std::span<const std::byte> body) {
+        const net::wire::BatchView batch = net::wire::decode_batch_body(body);
+        const Namespace ns = parse_namespace(batch.ns);
+        ++batches_received_;
+        publishes_received_ += batch.records.size();
+        std::vector<BatchItem> items;
+        items.reserve(batch.records.size());
+        for (const net::wire::BatchRecordView& record : batch.records) {
+          items.push_back(BatchItem{std::string(record.source),
+                                    SimTime{record.t_nanos},
+                                    datamodel::Node::unpack(record.payload)});
+        }
+        store_.shard(ns, shard_index).append_batch(std::move(items));
+
+        datamodel::Node ack;
+        ack["status"].set("ok");
+        return ack;
+      });
 
   // Liveness probe used by degraded clients to detect collector recovery.
   engine.define("soma.ping", [](const net::Address& /*caller*/,

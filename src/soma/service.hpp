@@ -94,6 +94,11 @@ class SomaService {
   [[nodiscard]] std::uint64_t replayed_publishes() const {
     return replayed_publishes_;
   }
+  /// Batch frames absorbed via soma.publish_batch (their records are also
+  /// counted in publishes_received).
+  [[nodiscard]] std::uint64_t batches_received() const {
+    return batches_received_;
+  }
   /// Aggregate engine stats over all ranks of one namespace instance.
   [[nodiscard]] net::EngineStats instance_stats(Namespace ns) const;
   /// Max queueing delay seen by any rank (the saturation signal).
@@ -112,6 +117,7 @@ class SomaService {
   std::map<std::string, Analyzer> analyzers_;
   std::uint64_t publishes_received_ = 0;
   std::uint64_t replayed_publishes_ = 0;
+  std::uint64_t batches_received_ = 0;
 };
 
 }  // namespace soma::core

@@ -30,6 +30,13 @@ struct TimedRecord {
   datamodel::Node data;   ///< published payload
 };
 
+/// One record of a decoded publish batch, routed to a single shard.
+struct BatchItem {
+  std::string source;
+  SimTime time;
+  datamodel::Node data;
+};
+
 enum class StorageBackendKind {
   kMap = 0,  ///< per-source std::map of record vectors (default)
   kLog = 1,  ///< append-only log + sorted per-source index + LRU latest cache
@@ -84,6 +91,12 @@ class StorageBackend {
   virtual void append(const std::string& source, SimTime time,
                       datamodel::Node data) = 0;
 
+  /// Append a whole publish batch in one pass. Equivalent to appending the
+  /// items in order — same final series, same counters — but lets an
+  /// implementation amortize per-source index and cache maintenance across
+  /// the batch instead of paying it per record.
+  virtual void append_batch(std::vector<BatchItem> items) = 0;
+
   /// Most recent record from `source`, if any.
   [[nodiscard]] virtual const TimedRecord* latest(
       const std::string& source) const = 0;
@@ -102,6 +115,8 @@ class StorageBackend {
   [[nodiscard]] virtual std::uint64_t record_count() const = 0;
   /// Total packed bytes ingested (capacity planning / shard balance).
   [[nodiscard]] virtual std::uint64_t ingested_bytes() const = 0;
+  /// Number of append_batch calls absorbed (batching effectiveness).
+  [[nodiscard]] virtual std::uint64_t batch_count() const = 0;
 
   [[nodiscard]] virtual StorageBackendKind kind() const = 0;
 };

@@ -121,7 +121,8 @@ std::vector<ShardCounters> DataStore::shard_counters() const {
     for (std::size_t i = 0; i < group.size(); ++i) {
       out.push_back(ShardCounters{ns, static_cast<int>(i),
                                   group[i]->record_count(),
-                                  group[i]->ingested_bytes()});
+                                  group[i]->ingested_bytes(),
+                                  group[i]->batch_count()});
     }
   }
   return out;

@@ -31,6 +31,7 @@ struct ShardCounters {
   int shard = 0;
   std::uint64_t records = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t batches = 0;  ///< append_batch calls absorbed
 };
 
 class DataStore {

@@ -1,6 +1,7 @@
 // Unit tests for the discrete-event simulation engine.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "common/error.hpp"
@@ -191,16 +192,43 @@ TEST(EventHandleTest, StaleHandleDoesNotTouchRecycledSlot) {
 
 TEST(EventHandleTest, CancelledEventSlotIsRecycledLazily) {
   Simulation simulation;
-  // Cancel ahead of a live event; the cancelled entry is discarded (and its
-  // slot retired) when it reaches the queue front.
+  // Cancel ahead of a live event; the cancelled entry stays queued (lazy
+  // discard) but no longer counts as pending work.
   EventHandle cancelled = simulation.schedule(Duration::seconds(1.0), [] {});
   int fired = 0;
   simulation.schedule(Duration::seconds(2.0), [&] { ++fired; });
   cancelled.cancel();
-  EXPECT_EQ(simulation.pending(), 2u);  // cancelled entry still queued
+  EXPECT_EQ(simulation.pending(), 1u);  // only the live event
   simulation.run();
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(simulation.events_dispatched(), 1u);
+}
+
+TEST(SimulationTest, PendingTracksLiveEventsOnly) {
+  Simulation simulation;
+  EventHandle a = simulation.schedule(Duration::seconds(1.0), [] {});
+  EventHandle b = simulation.schedule(Duration::seconds(2.0), [] {});
+  simulation.schedule(Duration::seconds(3.0), [] {});
+  EXPECT_EQ(simulation.pending(), 3u);
+  a.cancel();
+  EXPECT_EQ(simulation.pending(), 2u);
+  b.cancel();
+  b.cancel();  // double-cancel must not decrement twice
+  EXPECT_EQ(simulation.pending(), 1u);
+  EXPECT_TRUE(simulation.step());
+  EXPECT_EQ(simulation.pending(), 0u);
+  EXPECT_FALSE(simulation.step());
+}
+
+TEST(SimulationTest, ReserveDoesNotDisturbScheduledEvents) {
+  Simulation simulation;
+  std::vector<int> order;
+  simulation.schedule(Duration::seconds(2.0), [&] { order.push_back(2); });
+  simulation.reserve(1024);
+  simulation.schedule(Duration::seconds(1.0), [&] { order.push_back(1); });
+  EXPECT_EQ(simulation.pending(), 2u);
+  simulation.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
 // ---------- PeriodicTask ----------
@@ -281,6 +309,41 @@ TEST(PeriodicTaskTest, ZeroPeriodRejected) {
   Simulation simulation;
   EXPECT_THROW(PeriodicTask(simulation, Duration::zero(), [] {}),
                InternalError);
+}
+
+TEST(PeriodicTaskTest, MoveOnlyTickCallable) {
+  // The tick is a common::UniqueFunction, so move-only state (here a
+  // unique_ptr counter) can live inside the callable.
+  Simulation simulation;
+  auto count = std::make_unique<int>(0);
+  int* raw = count.get();
+  PeriodicTask task(simulation, Duration::seconds(1.0),
+                    [owned = std::move(count)] { ++*owned; });
+  task.start();
+  simulation.run_until(SimTime::from_seconds(2.5));
+  task.stop();
+  EXPECT_EQ(*raw, 3);  // ticks at 0, 1, 2
+}
+
+TEST(PeriodicTaskTest, RestartInsideTickKeepsSingleCadence) {
+  // stop() + start() from within a tick must leave exactly one pending
+  // event — the restarted cadence — not the restart plus the old rearm.
+  Simulation simulation;
+  std::vector<double> ticks;
+  PeriodicTask task(simulation, Duration::seconds(10.0), [&] {
+    ticks.push_back(simulation.now().to_seconds());
+    if (ticks.size() == 1) {
+      task.stop();
+      task.start(Duration::seconds(3.0));
+    }
+  });
+  task.start();
+  simulation.run_until(SimTime::from_seconds(25.0));
+  // Tick at 0 restarts with a 3 s delay: 3, then every 10 s: 13, 23.
+  ASSERT_EQ(ticks.size(), 4u);
+  EXPECT_DOUBLE_EQ(ticks[1], 3.0);
+  EXPECT_DOUBLE_EQ(ticks[2], 13.0);
+  EXPECT_DOUBLE_EQ(ticks[3], 23.0);
 }
 
 }  // namespace

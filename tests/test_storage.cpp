@@ -151,6 +151,68 @@ TEST_P(BackendContractTest, RangeEmptyWindowAndReversedBounds) {
                   .empty());
 }
 
+// ---------- batch append: equivalent to in-order single appends ----------
+
+TEST_P(BackendContractTest, AppendBatchMatchesSequentialAppends) {
+  const auto batched = make_backend(GetParam());
+  const auto sequential = make_backend(GetParam());
+
+  std::vector<BatchItem> items;
+  items.push_back({"cn0001", SimTime::from_seconds(1.0), value_node(1.0)});
+  items.push_back({"cn0001", SimTime::from_seconds(2.0), value_node(2.0)});
+  items.push_back({"cn0002", SimTime::from_seconds(1.5), value_node(3.0)});
+  items.push_back({"cn0001", SimTime::from_seconds(3.0), value_node(4.0)});
+  for (const auto& item : items) {
+    sequential->append(item.source, item.time, item.data);
+  }
+  batched->append_batch(std::move(items));
+
+  EXPECT_EQ(batched->record_count(), sequential->record_count());
+  EXPECT_EQ(batched->ingested_bytes(), sequential->ingested_bytes());
+  EXPECT_EQ(batched->sources(), sequential->sources());
+  for (const auto& source : sequential->sources()) {
+    const auto a = batched->series(source);
+    const auto b = sequential->series(source);
+    ASSERT_EQ(a.size(), b.size()) << source;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i]->time, b[i]->time) << source;
+      EXPECT_DOUBLE_EQ(a[i]->data.fetch_existing("v").as_float64(),
+                       b[i]->data.fetch_existing("v").as_float64())
+          << source;
+    }
+    ASSERT_NE(batched->latest(source), nullptr);
+    EXPECT_EQ(batched->latest(source)->time, sequential->latest(source)->time);
+  }
+  // One batch frame absorbed; the sequential backend saw none.
+  EXPECT_EQ(batched->batch_count(), 1u);
+  EXPECT_EQ(sequential->batch_count(), 0u);
+}
+
+TEST_P(BackendContractTest, AppendBatchWithLateArrivalsKeepsSeriesSorted) {
+  const auto backend = make_backend(GetParam());
+  backend->append("m", SimTime::from_seconds(2.0), value_node(2.0));
+  // A replayed batch can carry original (older) timestamps.
+  std::vector<BatchItem> items;
+  items.push_back({"m", SimTime::from_seconds(3.0), value_node(3.0)});
+  items.push_back({"m", SimTime::from_seconds(1.0), value_node(1.0)});
+  backend->append_batch(std::move(items));
+
+  const auto series = backend->series("m");
+  ASSERT_EQ(series.size(), 3u);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(series[i]->time, SimTime::from_seconds(1.0 + i));
+  }
+  ASSERT_NE(backend->latest("m"), nullptr);
+  EXPECT_EQ(backend->latest("m")->time, SimTime::from_seconds(3.0));
+}
+
+TEST_P(BackendContractTest, EmptyBatchIsNotCounted) {
+  const auto backend = make_backend(GetParam());
+  backend->append_batch({});
+  EXPECT_EQ(backend->record_count(), 0u);
+  EXPECT_EQ(backend->batch_count(), 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendContractTest,
                          ::testing::ValuesIn(kAllBackends),
                          [](const auto& info) {
@@ -207,6 +269,31 @@ TEST(LogBackendCacheTest, StaysCoherentAcrossAppends) {
   ASSERT_NE(backend.latest("a"), nullptr);
   EXPECT_EQ(backend.latest("a")->time, SimTime::from_seconds(2.0));
   EXPECT_EQ(backend.series("a").size(), 3u);
+}
+
+TEST(LogBackendCacheTest, StaysCoherentAcrossBatchAppends) {
+  LogBackend backend(/*latest_cache_capacity=*/4);
+  backend.append("a", SimTime::from_seconds(1.0), value_node(1.0));
+  ASSERT_NE(backend.latest("a"), nullptr);
+
+  // A batch carrying a newer record plus a late (replayed) older one must
+  // leave the cached snapshot pointing at the true newest — same as the
+  // sequential-append path.
+  std::vector<BatchItem> items;
+  items.push_back({"a", SimTime::from_seconds(3.0), value_node(3.0)});
+  items.push_back({"a", SimTime::from_seconds(2.0), value_node(2.0)});
+  items.push_back({"b", SimTime::from_seconds(1.0), value_node(9.0)});
+  backend.append_batch(std::move(items));
+
+  const auto hits_before = backend.latest_cache_hits();
+  const TimedRecord* newest_a = backend.latest("a");
+  ASSERT_NE(newest_a, nullptr);
+  EXPECT_EQ(newest_a->time, SimTime::from_seconds(3.0));
+  EXPECT_EQ(backend.latest_cache_hits(), hits_before + 1);  // still cached
+  ASSERT_NE(backend.latest("b"), nullptr);  // batch primed the new source
+  EXPECT_EQ(backend.latest_cache_hits(), hits_before + 2);
+  EXPECT_EQ(backend.series("a").size(), 3u);
+  EXPECT_EQ(backend.batch_count(), 1u);
 }
 
 TEST(LogBackendCacheTest, CapacityClampedToOne) {
@@ -325,6 +412,58 @@ TEST_P(StoreViewTest, SourcesUnionSortedDeduplicated) {
   EXPECT_EQ(store.view().sources(Namespace::kHardware),
             (std::vector<std::string>{"cn0001", "cn0002"}));
   EXPECT_EQ(store.view().record_count(Namespace::kHardware), 3u);
+}
+
+TEST_P(StoreViewTest, InterleavedBatchAndSingleAppendsMergeIdentically) {
+  // Two stores fed the same logical records — one mixing batch frames and
+  // single appends across shards, one using only single appends — must
+  // merge bit-identically: same order, same tie resolution.
+  DataStore mixed = sharded_store(GetParam(), 3);
+  DataStore plain = sharded_store(GetParam(), 3);
+
+  // Shard 1 ingests a batch; shards 0 and 2 ingest singles, with time ties
+  // against the batched records.
+  std::vector<BatchItem> items;
+  items.push_back({"m", SimTime::from_seconds(1.0), value_node(11.0)});
+  items.push_back({"m", SimTime::from_seconds(2.0), value_node(12.0)});
+  items.push_back({"m", SimTime::from_seconds(4.0), value_node(14.0)});
+  mixed.shard(Namespace::kWorkflow, 1).append_batch(std::move(items));
+  mixed.shard(Namespace::kWorkflow, 0)
+      .append("m", SimTime::from_seconds(2.0), value_node(2.0));
+  mixed.shard(Namespace::kWorkflow, 2)
+      .append("m", SimTime::from_seconds(4.0), value_node(24.0));
+
+  plain.shard(Namespace::kWorkflow, 1)
+      .append("m", SimTime::from_seconds(1.0), value_node(11.0));
+  plain.shard(Namespace::kWorkflow, 1)
+      .append("m", SimTime::from_seconds(2.0), value_node(12.0));
+  plain.shard(Namespace::kWorkflow, 1)
+      .append("m", SimTime::from_seconds(4.0), value_node(14.0));
+  plain.shard(Namespace::kWorkflow, 0)
+      .append("m", SimTime::from_seconds(2.0), value_node(2.0));
+  plain.shard(Namespace::kWorkflow, 2)
+      .append("m", SimTime::from_seconds(4.0), value_node(24.0));
+
+  const auto a = mixed.view().series(Namespace::kWorkflow, "m");
+  const auto b = plain.view().series(Namespace::kWorkflow, "m");
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i]->time, b[i]->time) << i;
+    EXPECT_DOUBLE_EQ(a[i]->data.fetch_existing("v").as_float64(),
+                     b[i]->data.fetch_existing("v").as_float64())
+        << i;
+  }
+  // Time tie at 2.0: shard 0's record first. Latest tie at 4.0: lowest
+  // shard (1) wins — the batched record.
+  EXPECT_DOUBLE_EQ(a[1]->data.fetch_existing("v").as_float64(), 2.0);
+  const TimedRecord* latest = mixed.view().latest(Namespace::kWorkflow, "m");
+  ASSERT_NE(latest, nullptr);
+  EXPECT_DOUBLE_EQ(latest->data.fetch_existing("v").as_float64(), 14.0);
+
+  // The serialized export is likewise identical.
+  std::ostringstream mixed_out, plain_out;
+  EXPECT_EQ(export_store(mixed, mixed_out), export_store(plain, plain_out));
+  EXPECT_EQ(mixed_out.str(), plain_out.str());
 }
 
 TEST_P(StoreViewTest, ExportIsShardCountInvariant) {

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Guard the micro-bench baseline: fail CI when key benchmarks regress.
+
+Compares a freshly generated BENCH_micro.json against the checked-in
+baseline and exits non-zero when any guarded benchmark's ns/op grew by
+more than the allowed fraction (default 20%). Only the event-loop and RPC
+round-trip benches are guarded by default — they are the stable spine of
+the simulator; other entries (including BM_BatchPublish) are recorded for
+trend-watching but too machine-sensitive to gate on.
+
+Usage:
+  python3 tools/check_bench_regression.py \
+      --baseline BENCH_micro.json --candidate /tmp/bench/BENCH_micro.json \
+      [--threshold 0.20] [--guard BM_EventDispatch --guard BM_RpcRoundTrip]
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_GUARDS = ["BM_EventDispatch", "BM_RpcRoundTrip"]
+
+
+def load_suite(path, suite):
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if suite not in document:
+        sys.exit(f"error: no '{suite}' suite in {path}")
+    return document[suite]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in BENCH_micro.json")
+    parser.add_argument("--candidate", required=True,
+                        help="freshly generated BENCH_micro.json")
+    parser.add_argument("--suite", default="micro_rpc")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional ns/op growth (default 0.20)")
+    parser.add_argument("--guard", action="append", default=None,
+                        help="benchmark name prefix to guard (repeatable; "
+                             f"default: {', '.join(DEFAULT_GUARDS)})")
+    args = parser.parse_args()
+    guards = args.guard or DEFAULT_GUARDS
+
+    baseline = load_suite(args.baseline, args.suite)
+    candidate = load_suite(args.candidate, args.suite)
+
+    failures = []
+    checked = 0
+    for name, base_entry in sorted(baseline.items()):
+        if not any(name.startswith(guard) for guard in guards):
+            continue
+        if name not in candidate:
+            failures.append(f"{name}: missing from candidate run")
+            continue
+        base_ns = float(base_entry["ns_per_op"])
+        cand_ns = float(candidate[name]["ns_per_op"])
+        ratio = cand_ns / base_ns if base_ns > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + args.threshold:
+            status = "REGRESSED"
+            failures.append(
+                f"{name}: {base_ns:.0f} ns/op -> {cand_ns:.0f} ns/op "
+                f"({(ratio - 1.0) * 100.0:+.1f}%, limit "
+                f"+{args.threshold * 100.0:.0f}%)")
+        print(f"  {name}: {base_ns:.0f} -> {cand_ns:.0f} ns/op "
+              f"({(ratio - 1.0) * 100.0:+.1f}%) {status}")
+        checked += 1
+
+    if checked == 0:
+        sys.exit("error: no guarded benchmarks found in baseline")
+    if failures:
+        print("\nbench regression check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbench regression check passed ({checked} benchmarks "
+          f"within +{args.threshold * 100.0:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

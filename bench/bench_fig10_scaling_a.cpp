@@ -29,6 +29,12 @@ int main(int argc, char** argv) {
   // and output is byte-identical to earlier builds.
   const core::BatchingConfig batching = bench::parse_publish_batch(argc, argv);
 
+  // `--replication F` replicates every shard to F-1 successor ranks with
+  // heartbeat failure detection. Absent, replication stays off and output is
+  // byte-identical to earlier builds.
+  const core::ReplicationConfig replication =
+      bench::parse_replication(argc, argv);
+
   // `--fault-seed N` reruns the sweep on a lossy fabric (1% drops, 2% latency
   // spikes) with client retry + buffer-and-replay enabled. Without the flag
   // the fabric is perfect and the output is byte-identical to earlier builds.
@@ -51,6 +57,8 @@ int main(int argc, char** argv) {
 
   std::uint64_t net_drops = 0, rpc_retries = 0, publish_failures = 0;
   std::uint64_t replayed = 0, failovers = 0;
+  std::uint64_t records_replicated = 0, resync_records = 0, crash_wipes = 0;
+  std::uint64_t ranks_recovered = 0;
 
   // Table 2, Scaling A: SOMA nodes {1,2,4} with ranks/namespace {16,32,64}.
   const std::vector<std::pair<int, int>> setups = {{1, 16}, {2, 32}, {4, 64}};
@@ -59,6 +67,7 @@ int main(int argc, char** argv) {
       auto config = DdmdExperimentConfig::scaling_a(nodes, ranks, mode);
       config.storage = storage;
       config.batching = batching;
+      config.replication = replication;
       if (faults_enabled) {
         config.faults.enabled = true;
         config.faults.fault_seed = fault_seed;
@@ -75,6 +84,10 @@ int main(int argc, char** argv) {
       publish_failures += result.publish_failures;
       replayed += result.replayed_publishes;
       failovers += result.failovers;
+      records_replicated += result.records_replicated;
+      resync_records += result.resync_records;
+      crash_wipes += result.crash_wipes;
+      ranks_recovered += result.ranks_recovered;
       rows.push_back(Row{nodes, ranks, mode,
                          summarize(result.pipeline_seconds)});
     }
@@ -156,6 +169,19 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(replayed));
     std::printf("  failovers:        %llu\n",
                 static_cast<unsigned long long>(failovers));
+  }
+  if (replication.enabled()) {
+    bench::section(
+        ("replication (factor " + std::to_string(replication.factor) + ")")
+            .c_str());
+    std::printf("  records replicated: %llu\n",
+                static_cast<unsigned long long>(records_replicated));
+    std::printf("  resync records:     %llu\n",
+                static_cast<unsigned long long>(resync_records));
+    std::printf("  crash wipes:        %llu\n",
+                static_cast<unsigned long long>(crash_wipes));
+    std::printf("  ranks recovered:    %llu\n",
+                static_cast<unsigned long long>(ranks_recovered));
   }
   return 0;
 }

@@ -30,6 +30,12 @@ int main(int argc, char** argv) {
   // frames; absent, batching is off and output stays byte-identical.
   const core::BatchingConfig batching = bench::parse_publish_batch(argc, argv);
 
+  // `--replication F` replicates every shard to F-1 successor ranks; absent,
+  // replication is off and output stays byte-identical. Spliced out before
+  // the positional max-scale parse below.
+  const core::ReplicationConfig replication =
+      bench::parse_replication(argc, argv);
+
   int max_scale = 512;
   std::uint64_t fault_seed = 0;
   bool faults_enabled = false;
@@ -57,6 +63,8 @@ int main(int argc, char** argv) {
 
   std::uint64_t net_drops = 0, rpc_retries = 0, publish_failures = 0;
   std::uint64_t replayed = 0, failovers = 0;
+  std::uint64_t records_replicated = 0, resync_records = 0, crash_wipes = 0;
+  std::uint64_t ranks_recovered = 0;
 
   std::map<std::pair<int, std::string>, Summary> results;
   TextTable table({"app nodes", "config", "pipeline time (s)", "median",
@@ -69,6 +77,7 @@ int main(int argc, char** argv) {
           scale, config.mode, Duration::seconds(config.period_s));
       experiment.storage = storage;
       experiment.batching = batching;
+      experiment.replication = replication;
       if (faults_enabled) {
         experiment.faults.enabled = true;
         experiment.faults.fault_seed = fault_seed;
@@ -85,6 +94,10 @@ int main(int argc, char** argv) {
       publish_failures += result.publish_failures;
       replayed += result.replayed_publishes;
       failovers += result.failovers;
+      records_replicated += result.records_replicated;
+      resync_records += result.resync_records;
+      crash_wipes += result.crash_wipes;
+      ranks_recovered += result.ranks_recovered;
       const Summary summary = summarize(result.pipeline_seconds);
       results[{scale, config.name}] = summary;
       if (std::string(config.name) == "none") none_mean = summary.mean;
@@ -162,6 +175,19 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(replayed));
     std::printf("  failovers:        %llu\n",
                 static_cast<unsigned long long>(failovers));
+  }
+  if (replication.enabled()) {
+    bench::section(
+        ("replication (factor " + std::to_string(replication.factor) + ")")
+            .c_str());
+    std::printf("  records replicated: %llu\n",
+                static_cast<unsigned long long>(records_replicated));
+    std::printf("  resync records:     %llu\n",
+                static_cast<unsigned long long>(resync_records));
+    std::printf("  crash wipes:        %llu\n",
+                static_cast<unsigned long long>(crash_wipes));
+    std::printf("  ranks recovered:    %llu\n",
+                static_cast<unsigned long long>(ranks_recovered));
   }
   return 0;
 }

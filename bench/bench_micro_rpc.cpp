@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "bench_micro_main.hpp"
 #include "net/rpc.hpp"
 #include "sim/simulation.hpp"
@@ -110,6 +112,42 @@ void BM_BatchPublish(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_BatchPublish)->Arg(1000)->Arg(10000);
+
+void BM_ReplicatedPublish(benchmark::State& state) {
+  // Publish path with factor-2 shard replication: every append also flows
+  // through the replication log and ships to the successor rank in batch
+  // frames, plus the heartbeat traffic between the two ranks.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation simulation;
+    net::Network network(simulation, net::NetworkConfig{});
+    core::ServiceConfig service_config;
+    service_config.namespaces = {core::Namespace::kHardware};
+    service_config.ranks_per_namespace = 2;
+    service_config.replication.factor = 2;
+    core::SomaService service(network, {0}, service_config);
+    core::SomaClient client(network, 1, 7000, core::Namespace::kHardware,
+                            service.instance(core::Namespace::kHardware).ranks);
+    datamodel::Node payload;
+    payload["cpu_utilization"].set(0.5);
+    const int n = static_cast<int>(state.range(0));
+    char source[16];
+    state.ResumeTiming();
+
+    for (int i = 0; i < n; ++i) {
+      std::snprintf(source, sizeof(source), "host%d", i % 8);
+      client.publish(source, payload);
+    }
+    // Publishes and replication frames all land within the first simulated
+    // seconds; stopping the heartbeats afterwards lets the run drain.
+    simulation.run_until(SimTime::from_seconds(30.0));
+    service.replication()->stop();
+    simulation.run();
+    benchmark::DoNotOptimize(service.publishes_received());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReplicatedPublish)->Arg(1000)->Arg(10000);
 
 }  // namespace
 

@@ -19,12 +19,31 @@ int main(int argc, char** argv) {
   // `--publish-batch N` coalesces client publishes; off by default.
   const core::BatchingConfig batching = bench::parse_publish_batch(argc, argv);
 
+  // `--fault-seed N` reruns both configurations on a lossy fabric (1% drops,
+  // 2% latency spikes) with client retry + buffer-and-replay enabled — the
+  // Fig. 10 fault profile. Absent, the fabric is perfect and the output is
+  // byte-identical to earlier builds.
+  const bench::FaultSeedArg fault = bench::parse_fault_seed(argc, argv);
+  auto apply_faults = [&](OpenFoamExperimentConfig& config) {
+    if (!fault.enabled) return;
+    config.faults.enabled = true;
+    config.faults.fault_seed = fault.seed;
+    config.faults.drop_probability = 0.01;
+    config.faults.spike_probability = 0.02;
+    config.reliability.retry.max_attempts = 4;
+    config.reliability.retry.timeout = Duration::milliseconds(100);
+    config.reliability.buffer_on_failure = true;
+    config.reliability.probe_period = Duration::seconds(5);
+  };
+
   auto tuning = OpenFoamExperimentConfig::tuning();
   tuning.storage = storage;
   tuning.batching = batching;
+  apply_faults(tuning);
   auto overload = OpenFoamExperimentConfig::overloaded();
   overload.storage = storage;
   overload.batching = batching;
+  apply_faults(overload);
 
   TextTable table({"Experiment", "Tuning", "Overload"});
   table.add_row({"Number of Tasks",
@@ -76,6 +95,23 @@ int main(int argc, char** argv) {
                                         : "n/a"});
   }
   std::printf("%s", shards.to_string().c_str());
+
+  if (fault.enabled) {
+    bench::section(
+        ("fault injection (seed " + std::to_string(fault.seed) + ")").c_str());
+    TextTable faults({"run", "net drops", "rpc retries", "publish failures",
+                      "replayed", "failovers"});
+    const std::pair<const char*, const OpenFoamResult*> fault_runs[] = {
+        {"tuning", &tuning_result}, {"overload", &overload_result}};
+    for (const auto& [name, r] : fault_runs) {
+      faults.add_row({name, std::to_string(r->net_drops),
+                      std::to_string(r->rpc_retries),
+                      std::to_string(r->publish_failures),
+                      std::to_string(r->replayed_publishes),
+                      std::to_string(r->failovers)});
+    }
+    std::printf("%s", faults.to_string().c_str());
+  }
 
   bench::paper_vs_measured("tuning tasks", "4",
                            std::to_string(tuning_result.tasks.size()));

@@ -19,6 +19,23 @@ int main(int argc, char** argv) {
   // `--publish-batch N` coalesces client publishes; off by default.
   const core::BatchingConfig batching = bench::parse_publish_batch(argc, argv);
 
+  // `--fault-seed N` reruns the two executed configurations on a lossy
+  // fabric (1% drops, 2% latency spikes) with client retry +
+  // buffer-and-replay — the Fig. 10 fault profile. Absent, the fabric is
+  // perfect and the output is byte-identical to earlier builds.
+  const bench::FaultSeedArg fault = bench::parse_fault_seed(argc, argv);
+  auto apply_faults = [&](DdmdExperimentConfig& config) {
+    if (!fault.enabled) return;
+    config.faults.enabled = true;
+    config.faults.fault_seed = fault.seed;
+    config.faults.drop_probability = 0.01;
+    config.faults.spike_probability = 0.02;
+    config.reliability.retry.max_attempts = 4;
+    config.reliability.retry.timeout = Duration::milliseconds(100);
+    config.reliability.buffer_on_failure = true;
+    config.reliability.probe_period = Duration::seconds(5);
+  };
+
   TextTable table({"Experiment", "Phases (n)", "Pipelines (m)", "App Nodes",
                    "SOMA Nodes", "Cores/Sim", "Train Tasks", "Cores/Train",
                    "Ranks/Namespace", "Freq (s)"});
@@ -36,9 +53,11 @@ int main(int argc, char** argv) {
   auto tuning_config = DdmdExperimentConfig::tuning();
   tuning_config.storage = storage;
   tuning_config.batching = batching;
+  apply_faults(tuning_config);
   auto adaptive_config = DdmdExperimentConfig::adaptive();
   adaptive_config.storage = storage;
   adaptive_config.batching = batching;
+  apply_faults(adaptive_config);
   const DdmdResult tuning = run_ddmd_experiment(tuning_config);
   const DdmdResult adaptive = run_ddmd_experiment(adaptive_config);
 
@@ -73,6 +92,21 @@ int main(int argc, char** argv) {
                                         : "n/a"});
   }
   std::printf("%s", shards.to_string().c_str());
+
+  if (fault.enabled) {
+    bench::section(
+        ("fault injection (seed " + std::to_string(fault.seed) + ")").c_str());
+    TextTable faults({"run", "net drops", "rpc retries", "publish failures",
+                      "replayed", "failovers"});
+    for (const auto& [name, r] : shard_runs) {
+      faults.add_row({name, std::to_string(r->net_drops),
+                      std::to_string(r->rpc_retries),
+                      std::to_string(r->publish_failures),
+                      std::to_string(r->replayed_publishes),
+                      std::to_string(r->failovers)});
+    }
+    std::printf("%s", faults.to_string().c_str());
+  }
 
   bench::section("adaptive analysis between phases (paper Table 2, Adaptive)");
   for (const auto& advice : adaptive.adaptive_advice) {

@@ -17,6 +17,7 @@
 #include "common/types.hpp"
 #include "datamodel/node.hpp"
 #include "soma/batcher.hpp"
+#include "soma/replication.hpp"
 #include "soma/storage_backend.hpp"
 
 namespace soma::bench {
@@ -75,6 +76,51 @@ inline core::BatchingConfig parse_publish_batch(int& argc, char** argv) {
                 batching.max_delay.to_seconds() * 1e3);
   }
   return batching;
+}
+
+/// Result of `parse_fault_seed`: whether `--fault-seed <N>` was present, and
+/// the seed if so. The caller picks the fault profile (drop/spike rates,
+/// retry policy) and prints its own fault section — the profiles differ per
+/// bench and benches that must stay byte-identical to calibrated baselines
+/// print nothing when the flag is absent, so this helper stays silent.
+struct FaultSeedArg {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+};
+
+/// Consume a `--fault-seed <N>` argument pair from argv, if present.
+inline FaultSeedArg parse_fault_seed(int& argc, char** argv) {
+  FaultSeedArg arg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != "--fault-seed") continue;
+    check(i + 1 < argc, "--fault-seed needs a value");
+    arg.enabled = true;
+    arg.seed = std::strtoull(argv[i + 1], nullptr, 10);
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+    break;
+  }
+  return arg;
+}
+
+/// Consume a `--replication <factor>` argument pair from argv, if present,
+/// and return the resulting replication config (factor 1 = off, the
+/// default). Announces the factor when present; silent otherwise so the
+/// calibrated unreplicated outputs stay byte-identical.
+inline core::ReplicationConfig parse_replication(int& argc, char** argv) {
+  core::ReplicationConfig replication;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != "--replication") continue;
+    check(i + 1 < argc, "--replication needs a value (factor >= 2)");
+    replication.factor =
+        static_cast<int>(std::strtol(argv[i + 1], nullptr, 10));
+    check(replication.factor >= 2, "--replication needs a factor >= 2");
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+    std::printf("replication: factor=%d\n", replication.factor);
+    break;
+  }
+  return replication;
 }
 
 inline void header(const char* artifact, const char* description) {

@@ -178,6 +178,7 @@ DdmdResult run_ddmd_experiment(const DdmdExperimentConfig& config) {
     deploy_config.client_reliability = config.reliability;
     deploy_config.client_batching = config.batching;
     deploy_config.service.storage = config.storage;
+    deploy_config.service.replication = config.replication;
     deployment = std::make_unique<SomaDeployment>(session, deploy_config);
 
     deployment->deploy([&] {
@@ -257,6 +258,11 @@ DdmdResult run_ddmd_experiment(const DdmdExperimentConfig& config) {
     result.store_shards = totals.store_shards;
     result.shard_records_min = totals.shard_records_min;
     result.shard_records_max = totals.shard_records_max;
+    result.records_replicated = totals.records_replicated;
+    result.resync_records = totals.resync_records;
+    result.crash_wipes = totals.crash_wipes;
+    result.ranks_recovered = totals.ranks_recovered;
+    result.replica_lag_records = totals.replica_lag_records;
 
     // Fig. 9: mean utilization of the *application* nodes within each phase
     // of pipeline 0 (stage spans come in groups of four per phase).

@@ -31,17 +31,9 @@ struct DdmdPhaseConfig {
   int cores_per_train_task = 7;
 };
 
-/// Deterministic fault profile for an experiment run. Disabled by default —
-/// fault-free runs stay byte-identical to the calibrated fig10/fig11
-/// baselines. When enabled, every cross-node link gets the configured drop/
-/// spike probabilities, seeded by `fault_seed` (CLI: `--fault-seed`).
-struct DdmdFaults {
-  bool enabled = false;
-  std::uint64_t fault_seed = 1;
-  double drop_probability = 0.0;
-  double spike_probability = 0.0;
-  Duration spike_latency = Duration::microseconds(50);
-};
+/// Historical name of the shared fault profile (experiments/deployment.hpp);
+/// the OpenFOAM runner uses the same profile under the shared name.
+using DdmdFaults = FaultProfile;
 
 struct DdmdExperimentConfig {
   int pipelines = 1;
@@ -65,6 +57,10 @@ struct DdmdExperimentConfig {
   /// Network fault injection + client reliability for the run.
   DdmdFaults faults{};
   core::ClientReliability reliability{};
+
+  /// Shard replication + crash recovery for the SOMA service (factor 1 =
+  /// off, the byte-identical default).
+  core::ReplicationConfig replication{};
 
   /// Storage layer of the SOMA service (backend kind, shards; the default
   /// auto-shards one per rank with the map backend).
@@ -131,6 +127,13 @@ struct DdmdResult {
   int store_shards = 0;
   std::uint64_t shard_records_min = 0;
   std::uint64_t shard_records_max = 0;
+
+  // Replication accounting (all zero when replication is off).
+  std::uint64_t records_replicated = 0;
+  std::uint64_t resync_records = 0;
+  std::uint64_t crash_wipes = 0;
+  std::uint64_t ranks_recovered = 0;
+  std::uint64_t replica_lag_records = 0;
 };
 
 DdmdResult run_ddmd_experiment(const DdmdExperimentConfig& config);

@@ -339,6 +339,18 @@ SomaDeployment::ReliabilityTotals SomaDeployment::reliability_totals() const {
     totals.shard_records_max = *rec_max;
     totals.shard_bytes_min = *byte_min;
     totals.shard_bytes_max = *byte_max;
+    if (const core::ReplicationManager* replication =
+            service_->replication()) {
+      const core::ReplicationStats& r = replication->stats();
+      totals.records_replicated = r.records_replicated;
+      totals.resync_records = r.resync_records;
+      totals.crash_wipes = r.crash_wipes;
+      totals.ranks_recovered = r.recoveries_completed;
+      for (const core::ReplicationShardStatus& row :
+           replication->shard_status()) {
+        totals.replica_lag_records += row.replica_lag_records;
+      }
+    }
   }
   return totals;
 }
@@ -363,6 +375,11 @@ void SomaDeployment::shutdown() {
   }
   if (rp_monitor_task_) session_.stop_task(rp_monitor_task_->uid());
   if (service_task_) session_.stop_task(service_task_->uid());
+  // Heartbeats would otherwise keep the simulation from draining to
+  // quiescence; in-flight replication frames still complete.
+  if (service_ && service_->replication() != nullptr) {
+    service_->replication()->stop();
+  }
 }
 
 }  // namespace soma::experiments

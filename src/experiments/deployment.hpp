@@ -25,6 +25,19 @@
 
 namespace soma::experiments {
 
+/// Deterministic fault profile for an experiment run. Disabled by default —
+/// fault-free runs stay byte-identical to the calibrated baselines. When
+/// enabled, every cross-node link gets the configured drop/spike
+/// probabilities, seeded by `fault_seed` (CLI: `--fault-seed`). Shared by
+/// the DDMD and OpenFOAM experiment runners.
+struct FaultProfile {
+  bool enabled = false;
+  std::uint64_t fault_seed = 1;
+  double drop_probability = 0.0;
+  double spike_probability = 0.0;
+  Duration spike_latency = Duration::microseconds(50);
+};
+
 enum class SomaMode {
   kNone,       ///< no SOMA nodes, no monitoring (the Fig. 11 baseline)
   kExclusive,  ///< SOMA nodes reserved; app tasks never use them
@@ -122,6 +135,12 @@ class SomaDeployment {
     std::uint64_t shard_records_max = 0;
     std::uint64_t shard_bytes_min = 0;
     std::uint64_t shard_bytes_max = 0;
+    // Replication totals (all zero when the service runs unreplicated).
+    std::uint64_t records_replicated = 0;
+    std::uint64_t resync_records = 0;
+    std::uint64_t crash_wipes = 0;
+    std::uint64_t ranks_recovered = 0;
+    std::uint64_t replica_lag_records = 0;
   };
   [[nodiscard]] ReliabilityTotals reliability_totals() const;
   /// The deployment's clients, for export_fault_report.

@@ -5,6 +5,7 @@
 #include "analysis/advisor.hpp"
 #include "analysis/timeline.hpp"
 #include "common/error.hpp"
+#include "net/fault.hpp"
 
 namespace soma::experiments {
 
@@ -61,6 +62,20 @@ OpenFoamResult run_openfoam_experiment(
   session_config.seed = config.seed;
   rp::Session session(session_config);
 
+  // Fault injection is installed before anything touches the network so the
+  // per-link streams cover the whole run. An absent injector (the default)
+  // keeps the fabric perfect and the run byte-identical to pre-fault builds.
+  if (config.faults.enabled) {
+    net::FaultConfig fault_config;
+    fault_config.seed = config.faults.fault_seed;
+    fault_config.default_link.drop_probability =
+        config.faults.drop_probability;
+    fault_config.default_link.spike_probability =
+        config.faults.spike_probability;
+    fault_config.default_link.spike_latency = config.faults.spike_latency;
+    session.network().install_faults(fault_config);
+  }
+
   auto model =
       workloads::make_openfoam_model(&session.platform(), config.params);
 
@@ -112,6 +127,8 @@ OpenFoamResult run_openfoam_experiment(
     deploy_config.rp_monitor.period = config.rp_monitor_period;
     deploy_config.hw_monitor.period = config.hw_monitor_period;
     deploy_config.service.storage = config.storage;
+    deploy_config.service.replication = config.replication;
+    deploy_config.client_reliability = config.reliability;
     deploy_config.client_batching = config.batching;
     deployment = std::make_unique<SomaDeployment>(session, deploy_config);
     deployment->enable_openfoam_tau(model);
@@ -120,6 +137,11 @@ OpenFoamResult run_openfoam_experiment(
 
   session.run();
   check(*app_outstanding == 0, "openfoam experiment: tasks did not finish");
+
+  result.net_drops = session.network().messages_dropped();
+  if (const net::FaultInjector* faults = session.network().faults()) {
+    result.net_latency_spikes = faults->stats().latency_spikes;
+  }
 
   // ---- extract results ----
   for (const auto& task : session.tasks()) {
@@ -200,11 +222,20 @@ OpenFoamResult run_openfoam_experiment(
     result.soma_max_queue_delay_ms =
         deployment->service().max_queue_delay().to_seconds() * 1e3;
     result.mean_ack_latency_ms = deployment->mean_client_ack_latency_ms();
+    result.replayed_publishes = deployment->service().replayed_publishes();
     const SomaDeployment::ReliabilityTotals totals =
         deployment->reliability_totals();
+    result.rpc_retries = totals.rpc_retries;
+    result.publish_failures = totals.publish_failures;
+    result.failovers = totals.failovers;
     result.store_shards = totals.store_shards;
     result.shard_records_min = totals.shard_records_min;
     result.shard_records_max = totals.shard_records_max;
+    result.records_replicated = totals.records_replicated;
+    result.resync_records = totals.resync_records;
+    result.crash_wipes = totals.crash_wipes;
+    result.ranks_recovered = totals.ranks_recovered;
+    result.replica_lag_records = totals.replica_lag_records;
   }
 
   return result;

@@ -35,6 +35,15 @@ struct OpenFoamExperimentConfig {
   workloads::OpenFoamParams params{};
   std::uint64_t seed = 1;
 
+  /// Network fault injection + client reliability for the run (both off by
+  /// default — the calibrated Table 1 baselines; CLI: `--fault-seed`).
+  FaultProfile faults{};
+  core::ClientReliability reliability{};
+
+  /// Shard replication + crash recovery for the SOMA service (factor 1 =
+  /// off, the byte-identical default).
+  core::ReplicationConfig replication{};
+
   /// Storage layer of the SOMA service (backend kind, shards; the default
   /// auto-shards one per rank with the map backend).
   core::StorageConfig storage{};
@@ -94,6 +103,21 @@ struct OpenFoamResult {
   int store_shards = 0;
   std::uint64_t shard_records_min = 0;
   std::uint64_t shard_records_max = 0;
+
+  // Fault/reliability accounting (all zero in fault-free runs).
+  std::uint64_t net_drops = 0;
+  std::uint64_t net_latency_spikes = 0;
+  std::uint64_t rpc_retries = 0;
+  std::uint64_t publish_failures = 0;
+  std::uint64_t replayed_publishes = 0;
+  std::uint64_t failovers = 0;
+
+  // Replication accounting (all zero when replication is off).
+  std::uint64_t records_replicated = 0;
+  std::uint64_t resync_records = 0;
+  std::uint64_t crash_wipes = 0;
+  std::uint64_t ranks_recovered = 0;
+  std::uint64_t replica_lag_records = 0;
 };
 
 /// Run the experiment end to end (builds its own Session) and extract every

@@ -33,7 +33,8 @@ std::size_t export_store_to_file(const StoreView& view,
   return export_store(view, out);
 }
 
-datamodel::Node export_shard_report(const DataStore& store) {
+datamodel::Node export_shard_report(const DataStore& store,
+                                    const ReplicationManager* replication) {
   datamodel::Node report;
   report["backend"].set(std::string(to_string(store.backend_kind())));
   report["shard_count"].set(static_cast<std::int64_t>(store.shard_count()));
@@ -44,6 +45,26 @@ datamodel::Node export_shard_report(const DataStore& store) {
     entry["records"].set(static_cast<std::int64_t>(counters.records));
     entry["bytes"].set(static_cast<std::int64_t>(counters.bytes));
     entry["batches"].set(static_cast<std::int64_t>(counters.batches));
+  }
+  if (replication != nullptr) {
+    for (const ReplicationShardStatus& row : replication->shard_status()) {
+      datamodel::Node& entry = report[std::string(to_string(row.ns))]
+                                     ["shard_" + std::to_string(row.shard)];
+      entry["replica_lag_records"].set(
+          static_cast<std::int64_t>(row.replica_lag_records));
+      entry["health"].set(std::string(to_string(row.health)));
+    }
+    const ReplicationStats& stats = replication->stats();
+    datamodel::Node& summary = report["replication"];
+    summary["factor"].set(
+        static_cast<std::int64_t>(replication->config().factor));
+    summary["records_replicated"].set(
+        static_cast<std::int64_t>(stats.records_replicated));
+    summary["resync_records"].set(
+        static_cast<std::int64_t>(stats.resync_records));
+    summary["crash_wipes"].set(static_cast<std::int64_t>(stats.crash_wipes));
+    summary["recoveries_completed"].set(
+        static_cast<std::int64_t>(stats.recoveries_completed));
   }
   return report;
 }

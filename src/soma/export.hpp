@@ -11,6 +11,7 @@
 
 #include "net/network.hpp"
 #include "soma/client.hpp"
+#include "soma/replication.hpp"
 #include "soma/store.hpp"
 
 namespace soma::core {
@@ -56,7 +57,12 @@ std::size_t import_store_from_file(DataStore& store, const std::string& path);
 /// Per-shard ingest counters of `store` as a Node: backend kind, shard
 /// count, and records/bytes per (namespace, shard). Table 1/2 summaries
 /// attach this so shard balance is visible next to the reliability totals.
-datamodel::Node export_shard_report(const DataStore& store);
+/// When `replication` is given (a replicated service's manager), each shard
+/// entry gains `replica_lag_records` and `health`, plus a top-level
+/// "replication" subtree of aggregate counters; the default nullptr keeps
+/// the report identical to the unreplicated one.
+datamodel::Node export_shard_report(
+    const DataStore& store, const ReplicationManager* replication = nullptr);
 
 /// Build a report of the network's fault/drop counters: totals, drops by
 /// cause (when a FaultInjector is installed) and drops by destination

@@ -86,6 +86,19 @@ void LogBackend::append_batch(std::vector<BatchItem> items) {
   }
 }
 
+void LogBackend::clear() {
+  // The cache holds pointers into the log, so it must go with it.
+  cache_map_.clear();
+  cache_.clear();
+  index_.clear();
+  log_.clear();
+  records_ = 0;
+  bytes_ = 0;
+  batches_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
 const TimedRecord* LogBackend::touch(
     std::list<CacheEntry>::iterator it) const {
   cache_.splice(cache_.begin(), cache_, it);

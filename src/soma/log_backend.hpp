@@ -25,6 +25,7 @@ class LogBackend final : public StorageBackend {
   void append(const std::string& source, SimTime time,
               datamodel::Node data) override;
   void append_batch(std::vector<BatchItem> items) override;
+  void clear() override;
   [[nodiscard]] const TimedRecord* latest(
       const std::string& source) const override;
   [[nodiscard]] std::vector<const TimedRecord*> series(

@@ -55,6 +55,13 @@ void MapBackend::append_batch(std::vector<BatchItem> items) {
   }
 }
 
+void MapBackend::clear() {
+  by_source_.clear();
+  records_ = 0;
+  bytes_ = 0;
+  batches_ = 0;
+}
+
 const TimedRecord* MapBackend::latest(const std::string& source) const {
   const auto it = by_source_.find(source);
   if (it == by_source_.end() || it->second.empty()) return nullptr;

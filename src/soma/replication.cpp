@@ -1,0 +1,644 @@
+#include "soma/replication.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/fault.hpp"
+#include "net/wire.hpp"
+
+namespace soma::core {
+namespace {
+
+// Replication frame prefix, in front of a PR 4 batch body:
+//   u8   kind (0 = replica append, 1 = resync into a recovering primary)
+//   u32  home shard index within the namespace instance (little-endian)
+//   u64  base sequence: cumulative record count before this window
+constexpr std::uint8_t kFrameReplicate = 0;
+constexpr std::uint8_t kFrameResync = 1;
+constexpr std::size_t kPrefixBytes = 1 + 4 + 8;
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get_u32(std::span<const std::byte> in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[at + i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(std::span<const std::byte> in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[at + i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t ack_seq(const datamodel::Node& response) {
+  if (const auto* seq = response.find_child("seq")) {
+    return static_cast<std::uint64_t>(seq->as_int64());
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string_view to_string(RankHealth health) {
+  switch (health) {
+    case RankHealth::kLive: return "live";
+    case RankHealth::kSuspected: return "suspected";
+    case RankHealth::kDead: return "dead";
+    case RankHealth::kRecovering: return "recovering";
+  }
+  return "unknown";
+}
+
+ReplicationManager::ReplicationManager(net::Network& network, DataStore& store,
+                                       ReplicationConfig config)
+    : network_(network), store_(store), config_(std::move(config)) {
+  if (config_.factor < 2) {
+    throw ConfigError("ReplicationManager needs factor >= 2");
+  }
+  if (config_.suspect_after < 1 || config_.dead_after < config_.suspect_after) {
+    throw ConfigError("replication needs 1 <= suspect_after <= dead_after");
+  }
+  if (config_.max_batch_records == 0) {
+    throw ConfigError("replication max_batch_records must be > 0");
+  }
+}
+
+ReplicationManager::~ReplicationManager() = default;
+
+std::size_t ReplicationManager::rank_at(Namespace ns, int shard) const {
+  const auto& instance = instances_[static_cast<std::size_t>(ns)];
+  if (shard < 0 || static_cast<std::size_t>(shard) >= instance.size()) {
+    throw LookupError("replication: no rank for shard " +
+                      std::to_string(shard) + " of namespace " +
+                      std::string(to_string(ns)));
+  }
+  return instance[static_cast<std::size_t>(shard)];
+}
+
+bool ReplicationManager::endpoint_down_now(const Rank& rank) const {
+  const net::FaultInjector* faults = network_.faults();
+  if (faults == nullptr) return false;
+  return faults->endpoint_down(rank.engine->address(),
+                               network_.simulation().now());
+}
+
+void ReplicationManager::add_rank(Namespace ns, int shard,
+                                  net::Engine& engine) {
+  if (started_) {
+    throw ConfigError("replication: add_rank after start");
+  }
+  const std::size_t index = ranks_.size();
+  auto& instance = instances_[static_cast<std::size_t>(ns)];
+  if (static_cast<std::size_t>(shard) != instance.size()) {
+    throw ConfigError("replication: ranks must be added in shard order");
+  }
+  instance.push_back(index);
+
+  Rank rank;
+  rank.ns = ns;
+  rank.shard = shard;
+  rank.engine = &engine;
+  ranks_.push_back(std::move(rank));
+
+  engine.define("soma.heartbeat", [](const net::Address& /*caller*/,
+                                     const datamodel::Node& /*args*/) {
+    datamodel::Node ack;
+    ack["status"].set("ok");
+    return ack;
+  });
+
+  engine.define_raw(
+      "soma.replicate",
+      [this, index](const net::Address& /*caller*/,
+                    std::span<const std::byte> body) {
+        return handle_replicate(index, body);
+      });
+}
+
+void ReplicationManager::start() {
+  if (started_) return;
+  started_ = true;
+
+  // Ring wiring: the replicas of shard s live on the next factor-1 shards of
+  // its namespace instance; replica backends are pre-built so a replica that
+  // never receives a record still reads back as a valid empty shard.
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    Rank& rank = ranks_[i];
+    const auto& instance = instances_[static_cast<std::size_t>(rank.ns)];
+    const int effective =
+        std::min(config_.factor, static_cast<int>(instance.size()));
+    for (int k = 1; k < effective; ++k) {
+      const std::size_t peer =
+          instance[(static_cast<std::size_t>(rank.shard) +
+                    static_cast<std::size_t>(k)) %
+                   instance.size()];
+      PeerLink link;
+      link.peer = peer;
+      rank.links.push_back(link);
+      ranks_[peer].replicas[i] = make_storage_backend(store_.config());
+      ranks_[peer].replica_seq[i] = 0;
+    }
+  }
+
+  // Heartbeat phases are staggered deterministically: one uniform per rank,
+  // split from the replication seed in rank order, exactly like the fault
+  // layer's per-link streams — same seed, bit-identical schedule.
+  const Rng base(config_.seed);
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    Rank& rank = ranks_[i];
+    const double phase = base.split(static_cast<std::uint64_t>(i)).uniform();
+    rank.heartbeat = std::make_unique<sim::PeriodicTask>(
+        network_.simulation(), config_.heartbeat_period,
+        [this, i] { tick(i); });
+    rank.heartbeat->start(config_.heartbeat_period * phase);
+  }
+}
+
+void ReplicationManager::stop() {
+  for (Rank& rank : ranks_) {
+    if (rank.heartbeat != nullptr) rank.heartbeat->stop();
+  }
+}
+
+void ReplicationManager::on_append(Namespace ns, int shard,
+                                   const std::string& source, SimTime time,
+                                   const datamodel::Node& data) {
+  const std::size_t index = rank_at(ns, shard);
+  Rank& rank = ranks_[index];
+  rank.log.push_back(LogEntry{source, time, data});
+  for (std::size_t li = 0; li < rank.links.size(); ++li) {
+    maybe_send(index, li);
+  }
+}
+
+void ReplicationManager::maybe_send(std::size_t index,
+                                    std::size_t link_index) {
+  Rank& rank = ranks_[index];
+  PeerLink& link = rank.links[link_index];
+  if (link.in_flight || link.acked >= rank.log.size()) return;
+
+  const Rank& peer = ranks_[link.peer];
+  const std::size_t base = link.acked;
+  const std::size_t end =
+      std::min(rank.log.size(), base + config_.max_batch_records);
+  net::wire::BatchBodyWriter writer{std::string(to_string(rank.ns))};
+  for (std::size_t i = base; i < end; ++i) {
+    const LogEntry& entry = rank.log[i];
+    writer.add(entry.source, entry.time.nanos(), entry.data);
+  }
+
+  link.in_flight = true;
+  ++stats_.frames_sent;
+  const std::uint64_t epoch = rank.epoch;
+  const std::size_t body_size = kPrefixBytes + writer.body_size();
+  rank.engine->call_raw(
+      peer.engine->address(), "soma.replicate", body_size,
+      [shard = rank.shard, base, writer = std::move(writer)](
+          std::vector<std::byte>& frame) {
+        frame.push_back(static_cast<std::byte>(kFrameReplicate));
+        put_u32(frame, static_cast<std::uint32_t>(shard));
+        put_u64(frame, static_cast<std::uint64_t>(base));
+        writer.encode(frame);
+      },
+      [this, index, link_index, epoch, base](datamodel::Node response) {
+        Rank& sender = ranks_[index];
+        if (sender.epoch != epoch) return;  // wiped since; stale future
+        PeerLink& l = sender.links[link_index];
+        l.in_flight = false;
+        // The peer's cumulative ack is authoritative: a peer that lost its
+        // replica (crash) acks low and the window rewinds to re-ship.
+        l.acked = std::min(static_cast<std::size_t>(ack_seq(response)),
+                           sender.log.size());
+        if (l.acked > base) stats_.records_replicated += l.acked - base;
+        maybe_send(index, link_index);
+      },
+      config_.replicate_retry,
+      [this, index, link_index, epoch](const std::string& /*error*/) {
+        Rank& sender = ranks_[index];
+        if (sender.epoch != epoch) return;
+        PeerLink& l = sender.links[link_index];
+        l.in_flight = false;
+        l.stalled = true;  // re-kicked by the sender's next live tick
+      });
+}
+
+datamodel::Node ReplicationManager::handle_replicate(
+    std::size_t holder_index, std::span<const std::byte> body) {
+  if (body.size() < kPrefixBytes) {
+    throw LookupError("replication frame truncated");
+  }
+  const auto kind = static_cast<std::uint8_t>(body[0]);
+  const int home_shard = static_cast<int>(get_u32(body, 1));
+  const std::uint64_t base_seq = get_u64(body, 5);
+  const net::wire::BatchView batch =
+      net::wire::decode_batch_body(body.subspan(kPrefixBytes));
+  const Namespace ns = parse_namespace(batch.ns);
+
+  Rank& holder = ranks_[holder_index];
+  datamodel::Node ack;
+  ack["status"].set("ok");
+
+  if (kind == kFrameReplicate) {
+    const std::size_t home = rank_at(ns, home_shard);
+    const auto replica = holder.replicas.find(home);
+    if (replica == holder.replicas.end()) {
+      throw LookupError("replication: rank holds no replica of shard " +
+                        std::to_string(home_shard));
+    }
+    std::uint64_t& applied = holder.replica_seq[home];
+    // Apply only contiguous, unseen records: a retried window re-sends from
+    // its original base (skip the overlap), and a pre-crash frame arriving
+    // after the holder was wiped has base > 0 == applied (skip entirely; the
+    // low ack rewinds the sender).
+    if (base_seq <= applied) {
+      for (std::size_t i = 0; i < batch.records.size(); ++i) {
+        if (base_seq + i < applied) continue;
+        const net::wire::BatchRecordView& record = batch.records[i];
+        replica->second->append(std::string(record.source),
+                                SimTime{record.t_nanos},
+                                datamodel::Node::unpack(record.payload));
+      }
+      applied = std::max(applied, base_seq + batch.records.size());
+    }
+    ack["seq"].set(static_cast<std::int64_t>(applied));
+    return ack;
+  }
+
+  if (kind != kFrameResync) throw LookupError("unknown replication frame");
+  // Resync chunk: the receiver IS the recovering primary. Records rejoin
+  // both the primary shard and the replication log, so the rank's own
+  // replicas are healed by the ordinary shipping path.
+  std::uint64_t& applied = holder.resync_applied;
+  if (base_seq <= applied) {
+    std::uint64_t fresh = 0;
+    for (std::size_t i = 0; i < batch.records.size(); ++i) {
+      if (base_seq + i < applied) continue;
+      const net::wire::BatchRecordView& record = batch.records[i];
+      apply_resync_record(holder, std::string(record.source),
+                          SimTime{record.t_nanos},
+                          datamodel::Node::unpack(record.payload));
+      ++fresh;
+    }
+    applied = std::max(applied, base_seq + batch.records.size());
+    stats_.resync_records += fresh;
+  }
+  ack["seq"].set(static_cast<std::int64_t>(applied));
+  return ack;
+}
+
+void ReplicationManager::apply_resync_record(Rank& rank,
+                                             const std::string& source,
+                                             SimTime time,
+                                             datamodel::Node data) {
+  const std::size_t index = rank_at(rank.ns, rank.shard);
+  store_.shard(rank.ns, rank.shard).append(source, time, data);
+  rank.log.push_back(LogEntry{source, time, std::move(data)});
+  for (std::size_t li = 0; li < rank.links.size(); ++li) {
+    maybe_send(index, li);
+  }
+}
+
+void ReplicationManager::tick(std::size_t index) {
+  Rank& rank = ranks_[index];
+  // Self-poll the fault injector: the down transition is the crash (memory
+  // wiped), the up transition is the restart (anti-entropy resync). A dead
+  // process acts on nothing, so the tick ends there while down.
+  const bool down_now = endpoint_down_now(rank);
+  if (down_now && !rank.down) {
+    rank.down = true;
+    wipe(index);
+  } else if (!down_now && rank.down) {
+    rank.down = false;
+    begin_recovery(index);
+  }
+  if (rank.down) return;
+
+  send_heartbeats(index);
+
+  // Re-kick stalled replication windows and a stalled resync stream. The
+  // frames themselves retry with backoff; this outer retry covers windows
+  // that exhausted their budget while a peer was down.
+  for (std::size_t li = 0; li < rank.links.size(); ++li) {
+    PeerLink& link = rank.links[li];
+    if (link.stalled && !link.in_flight) {
+      link.stalled = false;
+      maybe_send(index, li);
+    }
+  }
+  if (rank.resync != nullptr && rank.resync->stalled &&
+      !rank.resync->in_flight) {
+    rank.resync->stalled = false;
+    send_resync_chunk(index);
+  }
+}
+
+void ReplicationManager::send_heartbeats(std::size_t index) {
+  Rank& rank = ranks_[index];
+  const std::uint64_t epoch = rank.epoch;
+  for (const PeerLink& link : rank.links) {
+    const std::size_t target = link.peer;
+    ++stats_.heartbeats_sent;
+    net::RetryPolicy policy;
+    policy.max_attempts = 1;
+    policy.timeout = config_.heartbeat_timeout;
+    datamodel::Node probe;
+    probe["from"].set(static_cast<std::int64_t>(rank.shard));
+    rank.engine->call(
+        ranks_[target].engine->address(), "soma.heartbeat", std::move(probe),
+        [this, index, target, epoch](datamodel::Node /*response*/) {
+          if (ranks_[index].epoch != epoch) return;
+          record_heartbeat_ack(target);
+        },
+        policy,
+        [this, index, target, epoch](const std::string& /*error*/) {
+          // A dead observer's verdicts do not count (it could not have sent
+          // the probe); epoch staleness covers crash-then-restart races.
+          if (ranks_[index].epoch != epoch || ranks_[index].down) return;
+          record_missed_heartbeat(target);
+        });
+  }
+}
+
+void ReplicationManager::record_heartbeat_ack(std::size_t target_index) {
+  Rank& target = ranks_[target_index];
+  target.missed_heartbeats = 0;
+  if (target.health != RankHealth::kLive && !target.wiped &&
+      !target.resyncing) {
+    target.health = RankHealth::kLive;
+    update_instance_read_routes(target.ns);
+  }
+}
+
+void ReplicationManager::record_missed_heartbeat(std::size_t target_index) {
+  Rank& target = ranks_[target_index];
+  ++target.missed_heartbeats;
+  ++stats_.heartbeats_missed;
+  if (target.missed_heartbeats >= config_.dead_after &&
+      target.health != RankHealth::kDead &&
+      target.health != RankHealth::kRecovering) {
+    target.health = RankHealth::kDead;
+    ++stats_.dead_transitions;
+    update_instance_read_routes(target.ns);
+  } else if (target.missed_heartbeats >= config_.suspect_after &&
+             target.health == RankHealth::kLive) {
+    target.health = RankHealth::kSuspected;
+    ++stats_.suspected_transitions;
+  }
+}
+
+void ReplicationManager::wipe(std::size_t index) {
+  Rank& rank = ranks_[index];
+  ++stats_.crash_wipes;
+  ++rank.epoch;  // invalidate every in-flight callback of the old process
+  rank.wiped = true;
+  rank.resyncing = false;
+  rank.resync.reset();
+  rank.resync_applied = 0;
+  store_.shard(rank.ns, rank.shard).clear();
+  rank.log.clear();
+  for (PeerLink& link : rank.links) {
+    link.acked = 0;
+    link.in_flight = false;
+    link.stalled = false;
+  }
+  for (auto& [home, replica] : rank.replicas) {
+    replica->clear();
+    rank.replica_seq[home] = 0;
+  }
+  update_instance_read_routes(rank.ns);
+}
+
+void ReplicationManager::begin_recovery(std::size_t index) {
+  Rank& rank = ranks_[index];
+  ++stats_.recoveries_started;
+  ++rank.epoch;
+  rank.health = RankHealth::kRecovering;
+  rank.resyncing = true;
+  rank.missed_heartbeats = 0;
+  rank.resync_applied = 0;
+
+  // Snapshot the freshest live replica of this shard BEFORE resetting the
+  // holders: owned copies, streamed back in chunks below. Ties resolve to
+  // the nearest successor (deterministic).
+  std::size_t best_holder = ranks_.size();
+  std::uint64_t best_seq = 0;
+  for (const PeerLink& link : rank.links) {
+    const Rank& holder = ranks_[link.peer];
+    if (holder.wiped || endpoint_down_now(holder)) continue;
+    const auto seq = holder.replica_seq.find(index);
+    const std::uint64_t applied =
+        seq == holder.replica_seq.end() ? 0 : seq->second;
+    if (best_holder == ranks_.size() || applied > best_seq) {
+      best_holder = link.peer;
+      best_seq = applied;
+    }
+  }
+  std::vector<LogEntry> snapshot;
+  if (best_holder != ranks_.size()) {
+    const StorageBackend& replica = *ranks_[best_holder].replicas.at(index);
+    for (const std::string& source : replica.sources()) {
+      for (const TimedRecord* record : replica.series(source)) {
+        snapshot.push_back(LogEntry{source, record->time, record->data});
+      }
+    }
+  }
+
+  // The rebuilt log restarts at sequence zero, so every holder's replica of
+  // this shard restarts too (backend cleared, cumulative ack rewound) —
+  // resync'd records re-replicate through the ordinary path.
+  for (PeerLink& link : rank.links) {
+    Rank& holder = ranks_[link.peer];
+    if (auto replica = holder.replicas.find(index);
+        replica != holder.replicas.end()) {
+      replica->second->clear();
+      holder.replica_seq[index] = 0;
+    }
+    link.acked = 0;
+    link.in_flight = false;
+    link.stalled = false;
+  }
+
+  // The replicas this rank held for other primaries were lost in the wipe;
+  // rewinding each primary's link re-ships its full log here.
+  for (std::size_t p = 0; p < ranks_.size(); ++p) {
+    Rank& primary = ranks_[p];
+    for (std::size_t li = 0; li < primary.links.size(); ++li) {
+      PeerLink& link = primary.links[li];
+      if (link.peer != index) continue;
+      link.acked = 0;
+      link.stalled = false;
+      if (!primary.down && !primary.wiped) maybe_send(p, li);
+    }
+  }
+
+  update_instance_read_routes(rank.ns);
+
+  if (snapshot.empty()) {
+    // No live replica to restore from (or it was empty): rejoin empty. Any
+    // replica-held records are unrecoverable until a holder comes back.
+    finish_recovery(index);
+    return;
+  }
+  auto resync = std::make_unique<Resync>();
+  resync->target = index;
+  resync->source = best_holder;
+  resync->target_epoch = rank.epoch;
+  resync->entries = std::move(snapshot);
+  rank.resync = std::move(resync);
+  send_resync_chunk(index);
+}
+
+void ReplicationManager::send_resync_chunk(std::size_t target_index) {
+  Rank& target = ranks_[target_index];
+  if (target.resync == nullptr) return;
+  Resync& resync = *target.resync;
+  if (resync.in_flight) return;
+  if (resync.cursor >= resync.entries.size()) {
+    finish_recovery(target_index);
+    return;
+  }
+  const std::size_t base = resync.cursor;
+  const std::size_t end = std::min(resync.entries.size(),
+                                   base + config_.max_batch_records);
+  net::wire::BatchBodyWriter writer{std::string(to_string(target.ns))};
+  for (std::size_t i = base; i < end; ++i) {
+    const LogEntry& entry = resync.entries[i];
+    writer.add(entry.source, entry.time.nanos(), entry.data);
+  }
+  resync.in_flight = true;
+  ++stats_.frames_sent;
+  const std::uint64_t epoch = resync.target_epoch;
+  const std::size_t body_size = kPrefixBytes + writer.body_size();
+  Rank& source = ranks_[resync.source];
+  source.engine->call_raw(
+      target.engine->address(), "soma.replicate", body_size,
+      [shard = target.shard, base, writer = std::move(writer)](
+          std::vector<std::byte>& frame) {
+        frame.push_back(static_cast<std::byte>(kFrameResync));
+        put_u32(frame, static_cast<std::uint32_t>(shard));
+        put_u64(frame, static_cast<std::uint64_t>(base));
+        writer.encode(frame);
+      },
+      [this, target_index, epoch](datamodel::Node response) {
+        Rank& t = ranks_[target_index];
+        if (t.epoch != epoch || t.resync == nullptr) return;
+        t.resync->in_flight = false;
+        t.resync->cursor =
+            std::min(static_cast<std::size_t>(ack_seq(response)),
+                     t.resync->entries.size());
+        send_resync_chunk(target_index);
+      },
+      config_.replicate_retry,
+      [this, target_index, epoch](const std::string& /*error*/) {
+        Rank& t = ranks_[target_index];
+        if (t.epoch != epoch || t.resync == nullptr) return;
+        t.resync->in_flight = false;
+        t.resync->stalled = true;  // re-kicked by the target's next tick
+      });
+}
+
+void ReplicationManager::finish_recovery(std::size_t index) {
+  Rank& rank = ranks_[index];
+  rank.resync.reset();
+  rank.resyncing = false;
+  rank.wiped = false;
+  rank.health = RankHealth::kLive;
+  rank.missed_heartbeats = 0;
+  ++stats_.recoveries_completed;
+  update_instance_read_routes(rank.ns);
+}
+
+void ReplicationManager::update_read_route(std::size_t index) {
+  Rank& rank = ranks_[index];
+  const bool reroute =
+      rank.wiped || rank.resyncing || rank.health == RankHealth::kDead;
+  if (!reroute) {
+    store_.clear_read_override(rank.ns, rank.shard);
+    return;
+  }
+  // Freshest live replica wins; ties resolve to the nearest successor.
+  const StorageBackend* best = nullptr;
+  std::uint64_t best_seq = 0;
+  for (const PeerLink& link : rank.links) {
+    const Rank& holder = ranks_[link.peer];
+    if (holder.wiped || endpoint_down_now(holder)) continue;
+    const auto seq = holder.replica_seq.find(index);
+    const std::uint64_t applied =
+        seq == holder.replica_seq.end() ? 0 : seq->second;
+    if (best == nullptr || applied > best_seq) {
+      best = holder.replicas.at(index).get();
+      best_seq = applied;
+    }
+  }
+  if (best != nullptr) {
+    store_.set_read_override(rank.ns, rank.shard, best);
+  } else {
+    store_.clear_read_override(rank.ns, rank.shard);
+  }
+}
+
+void ReplicationManager::update_instance_read_routes(Namespace ns) {
+  // Any transition can invalidate a sibling's route (e.g. the holder a dead
+  // rank reads through crashes too), so recompute the whole instance.
+  for (const std::size_t index : instances_[static_cast<std::size_t>(ns)]) {
+    update_read_route(index);
+  }
+}
+
+RankHealth ReplicationManager::health(Namespace ns, int shard) const {
+  return ranks_[rank_at(ns, shard)].health;
+}
+
+std::uint64_t ReplicationManager::replica_lag(Namespace ns, int shard) const {
+  const Rank& rank = ranks_[rank_at(ns, shard)];
+  if (rank.links.empty()) return 0;
+  std::size_t min_acked = rank.log.size();
+  for (const PeerLink& link : rank.links) {
+    min_acked = std::min(min_acked, link.acked);
+  }
+  return rank.log.size() - min_acked;
+}
+
+std::vector<ReplicationShardStatus> ReplicationManager::shard_status() const {
+  std::vector<ReplicationShardStatus> rows;
+  for (const auto& instance : instances_) {
+    for (const std::size_t index : instance) {
+      const Rank& rank = ranks_[index];
+      ReplicationShardStatus row;
+      row.ns = rank.ns;
+      row.shard = rank.shard;
+      row.health = rank.health;
+      row.log_records = rank.log.size();
+      row.replica_lag_records = replica_lag(rank.ns, rank.shard);
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+const StorageBackend* ReplicationManager::replica(Namespace ns, int home_shard,
+                                                  int holder_shard) const {
+  const std::size_t home = rank_at(ns, home_shard);
+  const Rank& holder = ranks_[rank_at(ns, holder_shard)];
+  const auto it = holder.replicas.find(home);
+  return it == holder.replicas.end() ? nullptr : it->second.get();
+}
+
+}  // namespace soma::core

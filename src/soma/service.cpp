@@ -33,6 +33,17 @@ SomaService::SomaService(net::Network& network, std::vector<NodeId> nodes,
   if (config_.namespaces.empty()) {
     throw ConfigError("SOMA service needs >= 1 namespace");
   }
+  if (config_.replication.enabled()) {
+    // Replication identifies shards with ranks (the ring successor of a
+    // shard is the next rank), so the explicit-shard escape hatch is out.
+    if (store_.shard_count() != config_.ranks_per_namespace) {
+      throw ConfigError(
+          "replication requires one shard per rank "
+          "(leave storage.shards_per_namespace at 0)");
+    }
+    replication_ = std::make_unique<ReplicationManager>(
+        network_, store_, config_.replication);
+  }
 
   // Create the rank engines, spreading ranks round-robin across the service
   // nodes, and partition them into namespace instances.
@@ -48,11 +59,13 @@ SomaService::SomaService(net::Network& network, std::vector<NodeId> nodes,
       auto engine =
           std::make_unique<net::Engine>(network_, address, config_.cost);
       define_rpcs(*engine, r);
+      if (replication_ != nullptr) replication_->add_rank(ns, r, *engine);
       info.ranks.push_back(std::move(address));
       engines_.push_back(std::move(engine));
     }
     instances_.push_back(std::move(info));
   }
+  if (replication_ != nullptr) replication_->start();
 }
 
 const InstanceInfo& SomaService::instance(Namespace ns) const {
@@ -85,6 +98,9 @@ void SomaService::define_rpcs(net::Engine& engine, int shard_index) {
     // The receiving rank ingests into its own shard. Under normal routing
     // this is the shard the source hashes to; after a failover the source's
     // records straddle shards and the StoreView merge reunifies them.
+    if (replication_ != nullptr) {
+      replication_->on_append(ns, shard_index, source, stamp, data);
+    }
     store_.shard(ns, shard_index).append(source, stamp, std::move(data));
 
     datamodel::Node ack;
@@ -110,6 +126,12 @@ void SomaService::define_rpcs(net::Engine& engine, int shard_index) {
           items.push_back(BatchItem{std::string(record.source),
                                     SimTime{record.t_nanos},
                                     datamodel::Node::unpack(record.payload)});
+        }
+        if (replication_ != nullptr) {
+          for (const BatchItem& item : items) {
+            replication_->on_append(ns, shard_index, item.source, item.time,
+                                    item.data);
+          }
         }
         store_.shard(ns, shard_index).append_batch(std::move(items));
 
@@ -172,6 +194,12 @@ void SomaService::define_rpcs(net::Engine& engine, int shard_index) {
               static_cast<std::int64_t>(shard.record_count()));
           slot["bytes"].set(
               static_cast<std::int64_t>(shard.ingested_bytes()));
+          if (replication_ != nullptr) {
+            slot["replica_lag_records"].set(static_cast<std::int64_t>(
+                replication_->replica_lag(ns, i)));
+            slot["health"].set(
+                std::string(to_string(replication_->health(ns, i))));
+          }
         }
       }
     } else if (kind == "analyze") {

@@ -20,6 +20,7 @@
 #include "common/types.hpp"
 #include "net/rpc.hpp"
 #include "soma/namespaces.hpp"
+#include "soma/replication.hpp"
 #include "soma/store.hpp"
 
 namespace soma::core {
@@ -41,6 +42,10 @@ struct ServiceConfig {
   /// (auto) shards one-per-rank, so each rank owns the shard its publishes
   /// land in.
   StorageConfig storage{};
+  /// Shard replication + crash recovery (soma/replication.hpp). The default
+  /// factor of 1 constructs nothing — the unreplicated service, byte for
+  /// byte. Factors > 1 require the auto one-shard-per-rank layout.
+  ReplicationConfig replication{};
 };
 
 /// One namespace instance: the addresses of its ranks.
@@ -104,6 +109,14 @@ class SomaService {
   /// Max queueing delay seen by any rank (the saturation signal).
   [[nodiscard]] Duration max_queue_delay() const;
 
+  /// The replication + recovery engine, or nullptr when replication is off.
+  [[nodiscard]] const ReplicationManager* replication() const {
+    return replication_.get();
+  }
+  [[nodiscard]] ReplicationManager* replication() {
+    return replication_.get();
+  }
+
  private:
   /// `shard_index` is the rank's index within its namespace instance; the
   /// rank appends into that shard of the store.
@@ -113,6 +126,8 @@ class SomaService {
   ServiceConfig config_;
   DataStore store_;
   std::vector<std::unique_ptr<net::Engine>> engines_;
+  /// Declared after engines_ so it is destroyed first (it borrows them).
+  std::unique_ptr<ReplicationManager> replication_;
   std::vector<InstanceInfo> instances_;
   std::map<std::string, Analyzer> analyzers_;
   std::uint64_t publishes_received_ = 0;

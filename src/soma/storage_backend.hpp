@@ -97,6 +97,11 @@ class StorageBackend {
   /// the batch instead of paying it per record.
   virtual void append_batch(std::vector<BatchItem> items) = 0;
 
+  /// Drop every record and zero every counter, as a process restart loses a
+  /// rank's in-memory shard (the replication layer's crash model). The
+  /// backend is reusable afterwards, indistinguishable from freshly built.
+  virtual void clear() = 0;
+
   /// Most recent record from `source`, if any.
   [[nodiscard]] virtual const TimedRecord* latest(
       const std::string& source) const = 0;

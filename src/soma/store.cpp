@@ -56,6 +56,9 @@ DataStore::DataStore(StorageConfig config) : config_(std::move(config)) {
       group.push_back(make_storage_backend(config_));
     }
   }
+  for (auto& overrides : read_overrides_) {
+    overrides.assign(static_cast<std::size_t>(shard_count), nullptr);
+  }
 }
 
 int DataStore::shard_index_for(const std::string& source) const {
@@ -71,6 +74,23 @@ StorageBackend& DataStore::shard(Namespace ns, int index) {
 const StorageBackend& DataStore::shard(Namespace ns, int index) const {
   const auto& group = shards_[ns_index(ns)];
   return *group[static_cast<std::size_t>(index) % group.size()];
+}
+
+void DataStore::set_read_override(Namespace ns, int index,
+                                  const StorageBackend* backend) {
+  auto& overrides = read_overrides_[ns_index(ns)];
+  overrides[static_cast<std::size_t>(index) % overrides.size()] = backend;
+}
+
+void DataStore::clear_read_override(Namespace ns, int index) {
+  set_read_override(ns, index, nullptr);
+}
+
+const StorageBackend& DataStore::read_shard(Namespace ns, int index) const {
+  const auto& overrides = read_overrides_[ns_index(ns)];
+  const StorageBackend* override_backend =
+      overrides[static_cast<std::size_t>(index) % overrides.size()];
+  return override_backend != nullptr ? *override_backend : shard(ns, index);
 }
 
 void DataStore::append(Namespace ns, const std::string& source, SimTime time,
@@ -132,7 +152,7 @@ const TimedRecord* StoreView::latest(Namespace ns,
                                      const std::string& source) const {
   const TimedRecord* best = nullptr;
   for (int i = 0; i < store_->shard_count(); ++i) {
-    const TimedRecord* candidate = store_->shard(ns, i).latest(source);
+    const TimedRecord* candidate = store_->read_shard(ns, i).latest(source);
     // Strict > keeps the lowest shard index on time ties — deterministic.
     if (candidate != nullptr &&
         (best == nullptr || candidate->time > best->time)) {
@@ -147,7 +167,7 @@ std::vector<const TimedRecord*> StoreView::series(
   std::vector<std::vector<const TimedRecord*>> parts;
   parts.reserve(static_cast<std::size_t>(store_->shard_count()));
   for (int i = 0; i < store_->shard_count(); ++i) {
-    parts.push_back(store_->shard(ns, i).series(source));
+    parts.push_back(store_->read_shard(ns, i).series(source));
   }
   return merge_sorted(std::move(parts));
 }
@@ -159,7 +179,7 @@ std::vector<const TimedRecord*> StoreView::range(Namespace ns,
   std::vector<std::vector<const TimedRecord*>> parts;
   parts.reserve(static_cast<std::size_t>(store_->shard_count()));
   for (int i = 0; i < store_->shard_count(); ++i) {
-    parts.push_back(store_->shard(ns, i).range(source, from, to));
+    parts.push_back(store_->read_shard(ns, i).range(source, from, to));
   }
   return merge_sorted(std::move(parts));
 }
@@ -167,7 +187,7 @@ std::vector<const TimedRecord*> StoreView::range(Namespace ns,
 std::vector<std::string> StoreView::sources(Namespace ns) const {
   std::vector<std::string> out;
   for (int i = 0; i < store_->shard_count(); ++i) {
-    std::vector<std::string> part = store_->shard(ns, i).sources();
+    std::vector<std::string> part = store_->read_shard(ns, i).sources();
     out.insert(out.end(), std::make_move_iterator(part.begin()),
                std::make_move_iterator(part.end()));
   }
@@ -179,7 +199,7 @@ std::vector<std::string> StoreView::sources(Namespace ns) const {
 std::uint64_t StoreView::record_count(Namespace ns) const {
   std::uint64_t total = 0;
   for (int i = 0; i < store_->shard_count(); ++i) {
-    total += store_->shard(ns, i).record_count();
+    total += store_->read_shard(ns, i).record_count();
   }
   return total;
 }
@@ -193,7 +213,7 @@ std::uint64_t StoreView::total_records() const {
 std::uint64_t StoreView::ingested_bytes(Namespace ns) const {
   std::uint64_t total = 0;
   for (int i = 0; i < store_->shard_count(); ++i) {
-    total += store_->shard(ns, i).ingested_bytes();
+    total += store_->read_shard(ns, i).ingested_bytes();
   }
   return total;
 }

@@ -62,6 +62,16 @@ class DataStore {
   void append(Namespace ns, const std::string& source, SimTime time,
               datamodel::Node data);
 
+  // ---- read-route overrides (replication failover) ----------------------
+  // The replication layer points a dead or recovering shard's reads at the
+  // freshest live replica; appends and shard_counters always address the
+  // primary. `backend` is borrowed and must outlive the override.
+  void set_read_override(Namespace ns, int index, const StorageBackend* backend);
+  void clear_read_override(Namespace ns, int index);
+  /// The backend reads of shard `index` resolve to: the override when one is
+  /// installed, the primary otherwise. All StoreView reads go through this.
+  [[nodiscard]] const StorageBackend& read_shard(Namespace ns, int index) const;
+
   /// Scatter-gather read facade over every shard of every namespace.
   [[nodiscard]] StoreView view() const;
 
@@ -86,6 +96,9 @@ class DataStore {
 
   StorageConfig config_;
   std::array<ShardGroup, kAllNamespaces.size()> shards_;
+  /// Per-shard read overrides; nullptr = read the primary.
+  std::array<std::vector<const StorageBackend*>, kAllNamespaces.size()>
+      read_overrides_;
 };
 
 /// Read-only scatter-gather interface over a DataStore's shard groups.

@@ -21,6 +21,7 @@
 #include "net/rpc.hpp"
 #include "sim/simulation.hpp"
 #include "soma/client.hpp"
+#include "soma/export.hpp"
 #include "soma/namespaces.hpp"
 #include "soma/service.hpp"
 #include "soma/store.hpp"
@@ -230,6 +231,39 @@ TEST_F(FaultNetworkTest, SpikeDelaysDelivery) {
   simulation.run();
   // Base cross-node latency (2us for an empty payload) plus the spike.
   EXPECT_NEAR(arrival.to_seconds(), 1.002e-3, 1e-9);
+}
+
+TEST_F(FaultNetworkTest, LoopbackDeliveredThroughLinkFaultsAndPartitions) {
+  // End-to-end pin of the fault.hpp contract: "Intra-node (loopback)
+  // messages are exempt from link faults and partitions but not from
+  // endpoint crashes." A service co-located with its client must keep
+  // working through 100% cross-node loss AND a partition of its own node —
+  // until the peer process itself crashes.
+  net::FaultConfig config;
+  config.default_link.drop_probability = 1.0;
+  net::FaultInjector& injector = network.install_faults(config);
+  injector.partition({3}, SimTime::zero(), SimTime::from_seconds(1e6));
+
+  const net::Address a = net::make_address(3, 1);
+  const net::Address b = net::make_address(3, 2);
+  int received = 0;
+  network.bind(a, [](const net::Address&, std::vector<std::byte>) {});
+  network.bind(b, [&](const net::Address&, std::vector<std::byte>) {
+    ++received;
+  });
+  network.send(a, b, std::vector<std::byte>(32));
+  simulation.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(network.messages_dropped(), 0u);
+
+  // The crashed endpoint is dead to its node-local neighbours too.
+  injector.crash_endpoint(b, simulation.now(),
+                          simulation.now() + Duration::seconds(1));
+  network.send(a, b, std::vector<std::byte>(32));
+  simulation.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(network.messages_dropped(), 1u);
+  EXPECT_EQ(injector.stats().crash_drops, 1u);
 }
 
 struct NetRunOutcome {
@@ -615,6 +649,123 @@ TEST(FaultFailoverTest, PublishesRedirectToLiveRank) {
   // 2 publishes in the clean run + the failed-over one in the crashed run.
   EXPECT_EQ(stored, 3u);
 }
+
+// ---------- Record conservation under crash-and-replay ----------
+
+// With crash windows only (no random drops, so no at-least-once duplicates),
+// every published record is exactly one of: stored on the service, evicted
+// from the client's replay buffer, or still parked in it. The per-shard
+// export totals must agree with the store.
+
+class FaultConservationTest
+    : public ::testing::TestWithParam<core::StorageBackendKind> {};
+
+void expect_export_matches_store(const SomaService& service) {
+  const datamodel::Node report = core::export_shard_report(service.store());
+  std::uint64_t exported = 0;
+  const datamodel::Node& ns_entry = report.fetch_existing("hardware");
+  for (int i = 0; i < service.store().shard_count(); ++i) {
+    exported += static_cast<std::uint64_t>(
+        ns_entry.fetch_existing("shard_" + std::to_string(i))
+            .fetch_existing("records")
+            .as_int64());
+  }
+  EXPECT_EQ(exported, service.store().total_records());
+}
+
+TEST_P(FaultConservationTest, SinglePublishesConservedAcrossCrash) {
+  sim::Simulation simulation;
+  net::Network network{simulation, net::NetworkConfig{}};
+  ServiceConfig service_config;
+  service_config.namespaces = {Namespace::kHardware};
+  service_config.storage.backend = GetParam();
+  SomaService service(network, {0}, service_config);
+  const auto& ranks = service.instance(Namespace::kHardware).ranks;
+  net::FaultInjector& injector = network.install_faults(net::FaultConfig{});
+  // Down for 15 s; the 4-slot buffer cannot hold the ~15 window publishes.
+  injector.crash_endpoint(ranks[0], SimTime::from_seconds(10.0),
+                          SimTime::from_seconds(25.0));
+
+  ClientReliability reliability;
+  reliability.retry.max_attempts = 2;
+  reliability.retry.timeout = Duration::milliseconds(50);
+  reliability.buffer_on_failure = true;
+  reliability.probe_period = Duration::seconds(1);
+  reliability.max_buffered = 4;
+  SomaClient client(network, 1, 6000, Namespace::kHardware, ranks,
+                    reliability);
+
+  for (int i = 0; i < 40; ++i) {
+    simulation.schedule_at(SimTime::from_seconds(1.0 * (i + 1)),
+                           [&client, i] {
+                             client.publish("cn0001", value_node(i));
+                           });
+  }
+  simulation.run();
+
+  const SomaClient::ClientStats stats = client.stats();
+  EXPECT_EQ(stats.published, 40u);
+  EXPECT_GT(stats.dropped_overflow, 0u);
+  EXPECT_EQ(stats.dropped_batch_records, 0u);
+  EXPECT_EQ(client.buffered_pending(), 0u);  // outage ended; all replayed
+  EXPECT_EQ(service.store().total_records() + stats.dropped_overflow, 40u);
+  EXPECT_EQ(service.publishes_received(), service.store().total_records());
+  expect_export_matches_store(service);
+}
+
+TEST_P(FaultConservationTest, BatchedPublishesConservedAcrossCrash) {
+  sim::Simulation simulation;
+  net::Network network{simulation, net::NetworkConfig{}};
+  ServiceConfig service_config;
+  service_config.namespaces = {Namespace::kHardware};
+  service_config.storage.backend = GetParam();
+  SomaService service(network, {0}, service_config);
+  const auto& ranks = service.instance(Namespace::kHardware).ranks;
+  net::FaultInjector& injector = network.install_faults(net::FaultConfig{});
+  injector.crash_endpoint(ranks[0], SimTime::from_seconds(10.0),
+                          SimTime::from_seconds(25.0));
+
+  ClientReliability reliability;
+  reliability.retry.max_attempts = 2;
+  reliability.retry.timeout = Duration::milliseconds(50);
+  reliability.buffer_on_failure = true;
+  reliability.probe_period = Duration::seconds(1);
+  reliability.max_buffered = 6;
+  core::BatchingConfig batching;
+  batching.max_records = 4;
+  SomaClient client(network, 1, 6000, Namespace::kHardware, ranks,
+                    reliability, batching);
+
+  for (int i = 0; i < 80; ++i) {
+    simulation.schedule_at(SimTime::from_seconds(0.5 * (i + 1)),
+                           [&client, i] {
+                             client.publish("cn0001", value_node(i));
+                           });
+  }
+  simulation.schedule_at(SimTime::from_seconds(41.0),
+                         [&client] { client.flush_batches(); });
+  simulation.run();
+
+  // Failed batches disperse into the replay buffer record by record; buffer
+  // eviction counts them separately from single-publish overflow.
+  const SomaClient::ClientStats stats = client.stats();
+  EXPECT_EQ(stats.published, 80u);
+  EXPECT_GT(stats.batches_sent, 0u);
+  EXPECT_GT(stats.dropped_batch_records, 0u);
+  EXPECT_EQ(client.buffered_pending(), 0u);
+  EXPECT_EQ(service.store().total_records() + stats.dropped_batch_records +
+                stats.dropped_overflow,
+            80u);
+  EXPECT_EQ(service.publishes_received(), service.store().total_records());
+  expect_export_matches_store(service);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, FaultConservationTest,
+                         ::testing::Values(core::StorageBackendKind::kMap,
+                                           core::StorageBackendKind::kLog),
+                         [](const auto& info) {
+                           return std::string(core::to_string(info.param));
+                         });
 
 // ---------- Failure matrix: {drop rate x crash schedule x retry policy} ----
 

@@ -1,0 +1,555 @@
+// Shard replication, heartbeat failure detection, and crash recovery.
+//
+// The acceptance bar: with factor-2 replication and a crash window covering
+// more than 10% of the run, the final merged StoreView is identical to the
+// fault-free run for BOTH storage backends — zero record loss — and the
+// recovered rank serves complete reads from its own primary after re-sync.
+// Every suite name contains "Replication" so the CI fault-matrix leg picks
+// the lot up with `ctest --tests-regex "Fault|Replication"`; like the fault
+// matrix, the crash seeds can be shifted via SOMA_FAULT_SEED.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/fault.hpp"
+#include "net/network.hpp"
+#include "net/rpc.hpp"
+#include "sim/simulation.hpp"
+#include "soma/client.hpp"
+#include "soma/export.hpp"
+#include "soma/namespaces.hpp"
+#include "soma/replication.hpp"
+#include "soma/service.hpp"
+#include "soma/store.hpp"
+
+namespace soma {
+namespace {
+
+using core::ClientReliability;
+using core::Namespace;
+using core::RankHealth;
+using core::ReplicationConfig;
+using core::ServiceConfig;
+using core::SomaClient;
+using core::SomaService;
+using core::StorageBackend;
+using core::StorageBackendKind;
+using core::TimedRecord;
+
+datamodel::Node value_node(double v) {
+  datamodel::Node node;
+  node["v"].set(v);
+  return node;
+}
+
+std::uint64_t matrix_seed() {
+  if (const char* env = std::getenv("SOMA_FAULT_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 1234;
+}
+
+/// Source names that land on the given shard of a 2-shard group (the FNV
+/// route is platform-stable, so this is deterministic everywhere).
+std::vector<std::string> sources_on_shard(int shard, int want) {
+  std::vector<std::string> out;
+  for (int i = 0; out.size() < static_cast<std::size_t>(want); ++i) {
+    std::string name = "cn" + std::to_string(1000 + i);
+    if (core::route_source(name, 2) == static_cast<std::size_t>(shard)) {
+      out.push_back(std::move(name));
+    }
+  }
+  return out;
+}
+
+/// Tight heartbeat settings so tests detect crashes and recoveries within
+/// fractions of a simulated second instead of the deployment-scale 5 s.
+ReplicationConfig fast_replication(int factor) {
+  ReplicationConfig replication;
+  replication.factor = factor;
+  replication.heartbeat_period = Duration::milliseconds(200);
+  replication.heartbeat_timeout = Duration::milliseconds(100);
+  return replication;
+}
+
+// ---------- off-by-default parity ----------
+
+struct PlainRunOutcome {
+  std::uint64_t events = 0;
+  std::int64_t final_nanos = 0;
+  std::uint64_t publishes = 0;
+  std::uint64_t records = 0;
+  bool operator==(const PlainRunOutcome&) const = default;
+};
+
+PlainRunOutcome run_unreplicated(const ReplicationConfig& replication) {
+  sim::Simulation simulation;
+  net::Network network{simulation, net::NetworkConfig{}};
+  ServiceConfig service_config;
+  service_config.namespaces = {Namespace::kHardware};
+  service_config.ranks_per_namespace = 2;
+  service_config.replication = replication;
+  SomaService service(network, {0}, service_config);
+  SomaClient client(network, 1, 6000, Namespace::kHardware,
+                    service.instance(Namespace::kHardware).ranks);
+  for (int i = 0; i < 10; ++i) {
+    simulation.schedule_at(SimTime::from_seconds(1.0 * (i + 1)),
+                           [&client, i] {
+                             client.publish("cn" + std::to_string(1000 + i),
+                                            value_node(i));
+                           });
+  }
+  PlainRunOutcome outcome;
+  outcome.final_nanos = simulation.run().nanos();
+  outcome.events = simulation.events_dispatched();
+  outcome.publishes = service.publishes_received();
+  outcome.records = service.store().total_records();
+  return outcome;
+}
+
+TEST(ReplicationConfigTest, FactorOneConstructsNothing) {
+  // Factor 1 must not build a manager, arm heartbeats, or perturb the run in
+  // any way — even with every other replication knob set to something loud.
+  ReplicationConfig noisy;
+  noisy.factor = 1;
+  noisy.seed = 999;
+  noisy.heartbeat_period = Duration::milliseconds(1);
+  noisy.heartbeat_timeout = Duration::milliseconds(1);
+
+  const PlainRunOutcome plain = run_unreplicated(ReplicationConfig{});
+  const PlainRunOutcome loud = run_unreplicated(noisy);
+  EXPECT_EQ(plain, loud);
+  EXPECT_EQ(plain.publishes, 10u);
+
+  sim::Simulation simulation;
+  net::Network network{simulation, net::NetworkConfig{}};
+  ServiceConfig service_config;
+  service_config.namespaces = {Namespace::kHardware};
+  SomaService service(network, {0}, service_config);
+  EXPECT_EQ(service.replication(), nullptr);
+}
+
+TEST(ReplicationConfigTest, FactorRequiresOneShardPerRank) {
+  sim::Simulation simulation;
+  net::Network network{simulation, net::NetworkConfig{}};
+  ServiceConfig service_config;
+  service_config.namespaces = {Namespace::kHardware};
+  service_config.ranks_per_namespace = 2;
+  service_config.storage.shards_per_namespace = 1;  // fewer shards than ranks
+  service_config.replication.factor = 2;
+  EXPECT_THROW(SomaService(network, {0}, service_config), ConfigError);
+}
+
+// ---------- steady-state replication ----------
+
+class ReplicationPipelineTest : public ::testing::Test {
+ protected:
+  sim::Simulation simulation;
+  net::Network network{simulation, net::NetworkConfig{}};
+
+  /// Run to `horizon`, then stop heartbeats and drain in-flight frames.
+  void drain(SomaService& service, double horizon_s = 10.0) {
+    simulation.run_until(SimTime::from_seconds(horizon_s));
+    service.replication()->stop();
+    simulation.run();
+  }
+
+  /// Every shard's replica (on its successor) must mirror the primary:
+  /// same record count, same sources, same values in order.
+  void expect_replicas_mirror_primaries(const SomaService& service) {
+    const core::ReplicationManager* replication = service.replication();
+    ASSERT_NE(replication, nullptr);
+    for (int shard = 0; shard < 2; ++shard) {
+      const StorageBackend& primary =
+          service.store().shard(Namespace::kHardware, shard);
+      const StorageBackend* replica =
+          replication->replica(Namespace::kHardware, shard, (shard + 1) % 2);
+      ASSERT_NE(replica, nullptr) << "shard " << shard;
+      EXPECT_EQ(replica->record_count(), primary.record_count())
+          << "shard " << shard;
+      ASSERT_EQ(replica->sources(), primary.sources()) << "shard " << shard;
+      for (const std::string& source : primary.sources()) {
+        const auto primary_series = primary.series(source);
+        const auto replica_series = replica->series(source);
+        ASSERT_EQ(replica_series.size(), primary_series.size()) << source;
+        for (std::size_t i = 0; i < primary_series.size(); ++i) {
+          EXPECT_EQ(replica_series[i]->time, primary_series[i]->time);
+          EXPECT_EQ(
+              replica_series[i]->data.fetch_existing("v").as_float64(),
+              primary_series[i]->data.fetch_existing("v").as_float64());
+        }
+      }
+    }
+  }
+};
+
+TEST_F(ReplicationPipelineTest, SinglePublishesReachSuccessorReplica) {
+  ServiceConfig service_config;
+  service_config.namespaces = {Namespace::kHardware};
+  service_config.ranks_per_namespace = 2;
+  service_config.replication = fast_replication(2);
+  SomaService service(network, {0}, service_config);
+  SomaClient client(network, 1, 6000, Namespace::kHardware,
+                    service.instance(Namespace::kHardware).ranks);
+
+  // Sources on both shards, so both replication directions carry traffic.
+  const auto on0 = sources_on_shard(0, 2);
+  const auto on1 = sources_on_shard(1, 2);
+  int published = 0;
+  for (int i = 0; i < 3; ++i) {
+    for (const auto* group : {&on0, &on1}) {
+      for (const std::string& source : *group) {
+        simulation.schedule_at(
+            SimTime::from_seconds(0.1 * (published + 1)),
+            [&client, source, published] {
+              client.publish(source, value_node(published));
+            });
+        ++published;
+      }
+    }
+  }
+  drain(service);
+
+  EXPECT_EQ(service.publishes_received(), 12u);
+  expect_replicas_mirror_primaries(service);
+  const auto& stats = service.replication()->stats();
+  EXPECT_EQ(stats.records_replicated, 12u);
+  EXPECT_GT(stats.frames_sent, 0u);
+  EXPECT_EQ(stats.crash_wipes, 0u);
+  EXPECT_EQ(service.replication()->replica_lag(Namespace::kHardware, 0), 0u);
+  EXPECT_EQ(service.replication()->replica_lag(Namespace::kHardware, 1), 0u);
+}
+
+TEST_F(ReplicationPipelineTest, BatchedPublishesReachSuccessorReplica) {
+  ServiceConfig service_config;
+  service_config.namespaces = {Namespace::kHardware};
+  service_config.ranks_per_namespace = 2;
+  service_config.replication = fast_replication(2);
+  SomaService service(network, {0}, service_config);
+  core::BatchingConfig batching;
+  batching.max_records = 8;
+  SomaClient client(network, 1, 6000, Namespace::kHardware,
+                    service.instance(Namespace::kHardware).ranks, {},
+                    batching);
+
+  const auto on0 = sources_on_shard(0, 1);
+  const auto on1 = sources_on_shard(1, 1);
+  simulation.schedule_at(SimTime::from_seconds(1.0), [&] {
+    for (int i = 0; i < 16; ++i) {
+      client.publish(on0[0], value_node(i));
+      client.publish(on1[0], value_node(100 + i));
+    }
+    client.flush_batches();
+  });
+  drain(service);
+
+  EXPECT_EQ(service.publishes_received(), 32u);
+  expect_replicas_mirror_primaries(service);
+  EXPECT_EQ(service.replication()->stats().records_replicated, 32u);
+}
+
+// ---------- failure detection + read routing ----------
+
+TEST_F(ReplicationPipelineTest, DeadRankReadsServedByReplica) {
+  net::FaultInjector& injector = network.install_faults(net::FaultConfig{});
+  ServiceConfig service_config;
+  service_config.namespaces = {Namespace::kHardware};
+  service_config.ranks_per_namespace = 2;
+  service_config.replication = fast_replication(2);
+  SomaService service(network, {0}, service_config);
+  const auto& ranks = service.instance(Namespace::kHardware).ranks;
+  SomaClient client(network, 1, 6000, Namespace::kHardware, ranks);
+
+  const std::string source = sources_on_shard(0, 1)[0];
+  for (int i = 0; i < 8; ++i) {
+    simulation.schedule_at(SimTime::from_seconds(0.2 * (i + 1)),
+                           [&client, source, i] {
+                             client.publish(source, value_node(i));
+                           });
+  }
+  // Rank 0 (the source's home) dies at t=5 and never comes back.
+  injector.crash_endpoint(ranks[0], SimTime::from_seconds(5.0),
+                          SimTime::from_seconds(1e6));
+  simulation.run_until(SimTime::from_seconds(20.0));
+
+  const core::ReplicationManager* replication = service.replication();
+  EXPECT_EQ(replication->health(Namespace::kHardware, 0), RankHealth::kDead);
+  EXPECT_EQ(replication->health(Namespace::kHardware, 1), RankHealth::kLive);
+  EXPECT_GE(replication->stats().suspected_transitions, 1u);
+  EXPECT_GE(replication->stats().dead_transitions, 1u);
+  EXPECT_EQ(replication->stats().crash_wipes, 1u);
+
+  // The crashed rank lost its memory, but the merged view still serves the
+  // full series from the successor's replica.
+  const auto series = service.store_view().series(Namespace::kHardware,
+                                                  source);
+  ASSERT_EQ(series.size(), 8u);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(series[i]->data.fetch_existing("v").as_float64(),
+              static_cast<double>(i));
+  }
+  // Ground truth: the primary really is empty — the records come from the
+  // read override, not a surviving primary.
+  EXPECT_EQ(service.store().shard(Namespace::kHardware, 0).record_count(),
+            0u);
+}
+
+// ---------- crash recovery: the zero-loss acceptance bar ----------
+
+struct RecoveryOutcome {
+  std::map<std::string, std::vector<double>> values;
+  std::map<std::string, std::vector<std::int64_t>> times;
+  std::uint64_t store_records = 0;
+  core::ReplicationStats stats{};
+  bool operator==(const RecoveryOutcome&) const = default;
+};
+
+RecoveryOutcome run_recovery_scenario(StorageBackendKind backend,
+                                      bool with_crash, std::uint64_t seed) {
+  sim::Simulation simulation;
+  net::Network network{simulation, net::NetworkConfig{}};
+  net::FaultConfig fault_config;
+  fault_config.seed = seed;
+  net::FaultInjector& injector = network.install_faults(fault_config);
+
+  ServiceConfig service_config;
+  service_config.namespaces = {Namespace::kHardware};
+  service_config.ranks_per_namespace = 2;
+  service_config.storage.backend = backend;
+  service_config.replication = fast_replication(2);
+  service_config.replication.seed = seed;
+  SomaService service(network, {0}, service_config);
+  const auto& ranks = service.instance(Namespace::kHardware).ranks;
+
+  // Rank 0 is down for [20, 29.5) — ~16% of the 60 s run, comfortably past
+  // the 10% bar. The window ends off the 2 s publish grid so recovery and
+  // client replay never race a publish instant.
+  if (with_crash) {
+    injector.crash_endpoint(ranks[0], SimTime::from_seconds(20.0),
+                            SimTime::from_seconds(29.5));
+  }
+
+  // Buffer-and-replay clients (the PR 2 machinery): publishes that hit the
+  // crash window are parked and replayed once the rank answers probes again.
+  ClientReliability reliability;
+  reliability.retry.max_attempts = 2;
+  reliability.retry.timeout = Duration::milliseconds(50);
+  reliability.buffer_on_failure = true;
+  reliability.probe_period = Duration::seconds(1);
+  SomaClient client(network, 1, 6000, Namespace::kHardware, ranks,
+                    reliability);
+
+  // Two sources per shard, one publish every 2 s each for 60 s.
+  std::vector<std::string> sources = sources_on_shard(0, 2);
+  for (std::string& s : sources_on_shard(1, 2)) sources.push_back(s);
+  for (int i = 0; i < 30; ++i) {
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      const std::string source = sources[s];
+      const double value = static_cast<double>(i * 10 + s);
+      simulation.schedule_at(SimTime::from_seconds(2.0 * (i + 1)),
+                             [&client, source, value] {
+                               client.publish(source, value_node(value));
+                             });
+    }
+  }
+
+  simulation.run_until(SimTime::from_seconds(70.0));
+  service.replication()->stop();
+  simulation.run();
+
+  RecoveryOutcome outcome;
+  const core::StoreView view = service.store_view();
+  for (const std::string& source : sources) {
+    for (const TimedRecord* record : view.series(Namespace::kHardware,
+                                                 source)) {
+      outcome.values[source].push_back(
+          record->data.fetch_existing("v").as_float64());
+      outcome.times[source].push_back(record->time.nanos());
+    }
+  }
+  outcome.store_records = service.store().total_records();
+  outcome.stats = service.replication()->stats();
+  return outcome;
+}
+
+class ReplicationRecoveryTest
+    : public ::testing::TestWithParam<StorageBackendKind> {};
+
+TEST_P(ReplicationRecoveryTest, CrashWindowLosesNothing) {
+  const StorageBackendKind backend = GetParam();
+  const std::uint64_t seed = matrix_seed();
+  const RecoveryOutcome faulty = run_recovery_scenario(backend, true, seed);
+  const RecoveryOutcome clean = run_recovery_scenario(backend, false, seed);
+
+  // Zero loss: the merged view is value-identical to the fault-free run —
+  // pre-crash records restored by resync, in-window ones by client replay.
+  EXPECT_EQ(faulty.values, clean.values);
+  EXPECT_EQ(faulty.store_records, 120u);
+  for (const auto& [source, clean_times] : clean.times) {
+    const auto& faulty_times = faulty.times.at(source);
+    ASSERT_EQ(faulty_times.size(), clean_times.size()) << source;
+    for (std::size_t i = 0; i < clean_times.size(); ++i) {
+      // Replayed records carry their original publish timestamps; live ones
+      // differ from the clean run only by per-run microsecond jitter.
+      EXPECT_NEAR(static_cast<double>(faulty_times[i]),
+                  static_cast<double>(clean_times[i]), 1e6)
+          << source << " record " << i;
+    }
+  }
+
+  // The crash and the recovery actually happened.
+  EXPECT_EQ(faulty.stats.crash_wipes, 1u);
+  EXPECT_EQ(faulty.stats.recoveries_started, 1u);
+  EXPECT_EQ(faulty.stats.recoveries_completed, 1u);
+  EXPECT_GT(faulty.stats.resync_records, 0u);
+  EXPECT_EQ(clean.stats.crash_wipes, 0u);
+  EXPECT_EQ(clean.stats.resync_records, 0u);
+}
+
+TEST_P(ReplicationRecoveryTest, RecoveredRankServesCompletePrimaryReads) {
+  const StorageBackendKind backend = GetParam();
+  const std::uint64_t seed = matrix_seed() + 17;
+
+  sim::Simulation simulation;
+  net::Network network{simulation, net::NetworkConfig{}};
+  net::FaultConfig fault_config;
+  fault_config.seed = seed;
+  net::FaultInjector& injector = network.install_faults(fault_config);
+
+  ServiceConfig service_config;
+  service_config.namespaces = {Namespace::kHardware};
+  service_config.ranks_per_namespace = 2;
+  service_config.storage.backend = backend;
+  service_config.replication = fast_replication(2);
+  SomaService service(network, {0}, service_config);
+  const auto& ranks = service.instance(Namespace::kHardware).ranks;
+  injector.crash_endpoint(ranks[0], SimTime::from_seconds(10.0),
+                          SimTime::from_seconds(15.25));
+
+  ClientReliability reliability;
+  reliability.retry.max_attempts = 2;
+  reliability.retry.timeout = Duration::milliseconds(50);
+  reliability.buffer_on_failure = true;
+  reliability.probe_period = Duration::seconds(1);
+  SomaClient client(network, 1, 6000, Namespace::kHardware, ranks,
+                    reliability);
+
+  const std::string source = sources_on_shard(0, 1)[0];
+  for (int i = 0; i < 15; ++i) {
+    simulation.schedule_at(SimTime::from_seconds(2.0 * (i + 1)),
+                           [&client, source, i] {
+                             client.publish(source, value_node(i));
+                           });
+  }
+  simulation.run_until(SimTime::from_seconds(40.0));
+  service.replication()->stop();
+  simulation.run();
+
+  // Back in the read set, reading from its own primary — which holds the
+  // complete series (resync + replay), time-sorted.
+  EXPECT_EQ(service.replication()->health(Namespace::kHardware, 0),
+            RankHealth::kLive);
+  const StorageBackend& primary =
+      service.store().shard(Namespace::kHardware, 0);
+  const auto series = primary.series(source);
+  ASSERT_EQ(series.size(), 15u);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(series[i]->data.fetch_existing("v").as_float64(),
+              static_cast<double>(i));
+    if (i > 0) EXPECT_LE(series[i - 1]->time, series[i]->time);
+  }
+  // Its replicas healed too: the other primary re-shipped its log, and the
+  // recovered rank's own log re-replicated to its successor.
+  EXPECT_EQ(service.replication()->replica_lag(Namespace::kHardware, 0), 0u);
+  EXPECT_EQ(service.replication()->replica_lag(Namespace::kHardware, 1), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ReplicationRecoveryTest,
+                         ::testing::Values(StorageBackendKind::kMap,
+                                           StorageBackendKind::kLog),
+                         [](const auto& info) {
+                           return std::string(core::to_string(info.param));
+                         });
+
+// ---------- determinism ----------
+
+TEST(ReplicationDeterminismTest, SameSeedReplicatedRunsAreBitIdentical) {
+  const std::uint64_t seed = matrix_seed() + 99;
+  const RecoveryOutcome first =
+      run_recovery_scenario(StorageBackendKind::kMap, true, seed);
+  const RecoveryOutcome second =
+      run_recovery_scenario(StorageBackendKind::kMap, true, seed);
+  EXPECT_EQ(first.values, second.values);
+  EXPECT_EQ(first.times, second.times);
+  EXPECT_EQ(first.store_records, second.store_records);
+  EXPECT_EQ(first.stats.records_replicated, second.stats.records_replicated);
+  EXPECT_EQ(first.stats.frames_sent, second.stats.frames_sent);
+  EXPECT_EQ(first.stats.heartbeats_sent, second.stats.heartbeats_sent);
+  EXPECT_EQ(first.stats.heartbeats_missed, second.stats.heartbeats_missed);
+  EXPECT_EQ(first.stats.resync_records, second.stats.resync_records);
+}
+
+// ---------- observability: export + shards query ----------
+
+TEST_F(ReplicationPipelineTest, ShardReportAndQueryCarryReplicaLag) {
+  ServiceConfig service_config;
+  service_config.namespaces = {Namespace::kHardware};
+  service_config.ranks_per_namespace = 2;
+  service_config.replication = fast_replication(2);
+  SomaService service(network, {0}, service_config);
+  SomaClient client(network, 1, 6000, Namespace::kHardware,
+                    service.instance(Namespace::kHardware).ranks);
+
+  const auto on0 = sources_on_shard(0, 1);
+  const auto on1 = sources_on_shard(1, 1);
+  simulation.schedule_at(SimTime::from_seconds(1.0), [&] {
+    for (int i = 0; i < 4; ++i) {
+      client.publish(on0[0], value_node(i));
+      client.publish(on1[0], value_node(i));
+    }
+  });
+  datamodel::Node shards_reply;
+  simulation.schedule_at(SimTime::from_seconds(5.0), [&] {
+    datamodel::Node request;
+    request["kind"].set(std::string("shards"));
+    client.query(std::move(request),
+                 [&](datamodel::Node reply) { shards_reply = reply; });
+  });
+  drain(service);
+
+  const datamodel::Node report =
+      core::export_shard_report(service.store(), service.replication());
+  const datamodel::Node& hw = report.fetch_existing("hardware");
+  for (int shard = 0; shard < 2; ++shard) {
+    const datamodel::Node& entry =
+        hw.fetch_existing("shard_" + std::to_string(shard));
+    EXPECT_EQ(entry.fetch_existing("replica_lag_records").as_int64(), 0);
+    EXPECT_EQ(entry.fetch_existing("health").as_string(), "live");
+  }
+  const datamodel::Node& summary = report.fetch_existing("replication");
+  EXPECT_EQ(summary.fetch_existing("factor").as_int64(), 2);
+  EXPECT_EQ(summary.fetch_existing("records_replicated").as_int64(), 8);
+  EXPECT_EQ(summary.fetch_existing("crash_wipes").as_int64(), 0);
+
+  // The remote "shards" query carries the same per-shard fields.
+  const datamodel::Node& remote = shards_reply.fetch_existing("hardware");
+  for (int shard = 0; shard < 2; ++shard) {
+    const datamodel::Node& slot =
+        remote.fetch_existing("shard_" + std::to_string(shard));
+    EXPECT_TRUE(slot.find_child("replica_lag_records") != nullptr);
+    EXPECT_EQ(slot.fetch_existing("health").as_string(), "live");
+  }
+
+  // Unreplicated stores report no replication subtree (and the query slots
+  // stay as they were — the byte-parity contract).
+  const datamodel::Node plain = core::export_shard_report(service.store());
+  EXPECT_EQ(plain.find_child("replication"), nullptr);
+}
+
+}  // namespace
+}  // namespace soma

@@ -213,6 +213,52 @@ TEST_P(BackendContractTest, EmptyBatchIsNotCounted) {
   EXPECT_EQ(backend->batch_count(), 0u);
 }
 
+// ---------- clear: the crash model of the replication layer ----------
+
+TEST_P(BackendContractTest, ClearEmptiesAndStaysReusable) {
+  const auto backend = make_backend(GetParam());
+  backend->append("cn0001", SimTime::from_seconds(1.0), value_node(0.1));
+  backend->append("cn0002", SimTime::from_seconds(2.0), value_node(0.2));
+  backend->append_batch({{"cn0001", SimTime::from_seconds(3.0),
+                          value_node(0.3)},
+                         {"cn0003", SimTime::from_seconds(3.5),
+                          value_node(0.4)}});
+  ASSERT_EQ(backend->record_count(), 4u);
+
+  backend->clear();
+
+  // Indistinguishable from freshly built: no records, sources, or counters.
+  EXPECT_EQ(backend->record_count(), 0u);
+  EXPECT_EQ(backend->ingested_bytes(), 0u);
+  EXPECT_EQ(backend->batch_count(), 0u);
+  EXPECT_TRUE(backend->sources().empty());
+  EXPECT_EQ(backend->latest("cn0001"), nullptr);
+  EXPECT_TRUE(backend->series("cn0002").empty());
+  EXPECT_TRUE(backend->range("cn0001", SimTime::zero(),
+                             SimTime::from_seconds(10.0))
+                  .empty());
+
+  // Reusable afterwards (a recovering rank re-ingests into it).
+  backend->append("cn0001", SimTime::from_seconds(5.0), value_node(0.5));
+  EXPECT_EQ(backend->record_count(), 1u);
+  ASSERT_NE(backend->latest("cn0001"), nullptr);
+  EXPECT_EQ(backend->latest("cn0001")->time, SimTime::from_seconds(5.0));
+  EXPECT_EQ(backend->sources(), (std::vector<std::string>{"cn0001"}));
+}
+
+TEST(LogBackendCacheTest, ClearDropsCachedSnapshots) {
+  // The cache points into the log; clear() must drop both together or the
+  // next latest() would dereference freed records.
+  LogBackend backend(/*latest_cache_capacity=*/4);
+  backend.append("a", SimTime::from_seconds(1.0), value_node(1.0));
+  (void)backend.latest("a");  // populate the cache
+  backend.clear();
+  EXPECT_EQ(backend.latest("a"), nullptr);
+  backend.append("a", SimTime::from_seconds(2.0), value_node(2.0));
+  ASSERT_NE(backend.latest("a"), nullptr);
+  EXPECT_EQ(backend.latest("a")->time, SimTime::from_seconds(2.0));
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendContractTest,
                          ::testing::ValuesIn(kAllBackends),
                          [](const auto& info) {

@@ -3,10 +3,12 @@
 
 Compares a freshly generated BENCH_micro.json against the checked-in
 baseline and exits non-zero when any guarded benchmark's ns/op grew by
-more than the allowed fraction (default 20%). Only the event-loop and RPC
-round-trip benches are guarded by default — they are the stable spine of
-the simulator; other entries (including BM_BatchPublish) are recorded for
-trend-watching but too machine-sensitive to gate on.
+more than the allowed fraction (default 20%). Guarded by default: the
+event-loop and RPC round-trip benches (the stable spine of the simulator)
+plus the two end-to-end publish paths, BM_BatchPublish and
+BM_ReplicatedPublish — a regression there means the ingest or replication
+pipeline got slower, not just the host noisier. Remaining entries are
+recorded for trend-watching but too machine-sensitive to gate on.
 
 Usage:
   python3 tools/check_bench_regression.py \
@@ -18,7 +20,12 @@ import argparse
 import json
 import sys
 
-DEFAULT_GUARDS = ["BM_EventDispatch", "BM_RpcRoundTrip"]
+DEFAULT_GUARDS = [
+    "BM_EventDispatch",
+    "BM_RpcRoundTrip",
+    "BM_BatchPublish",
+    "BM_ReplicatedPublish",
+]
 
 
 def load_suite(path, suite):
